@@ -1,0 +1,32 @@
+# Convenience targets for the repro package.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick reproduce reproduce-paper examples clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_SCALE=quick $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reproduce:
+	$(PYTHON) examples/reproduce_paper.py --scale quick
+
+reproduce-paper:
+	$(PYTHON) examples/reproduce_paper.py --scale paper --out results/
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/scheduler_comparison.py spmv --synthetic
+	$(PYTHON) examples/dram_design_space.py
+
+clean:
+	rm -rf .repro-results benchmarks/.benchcache .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

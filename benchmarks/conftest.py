@@ -1,0 +1,40 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Every ``test_figNN_*``/``test_secN_*`` file regenerates one table or
+figure of the paper from a shared (benchmark x scheduler) sweep.  The
+sweep is computed once per session and cached on disk under
+``benchmarks/.benchcache`` so the whole harness stays fast on re-runs.
+
+Scale is ``TINY`` by default; set ``REPRO_BENCH_SCALE=quick|paper`` for
+higher-fidelity runs (the shape assertions are scale-independent).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner
+from repro.workloads.suite import Scale
+
+_SCALE = Scale[os.environ.get("REPRO_BENCH_SCALE", "tiny").upper()]
+_CACHE = os.path.join(os.path.dirname(__file__), ".benchcache")
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(
+        scale=_SCALE, seeds=(1, 2), kind="synthetic", cache_dir=_CACHE
+    )
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return _SCALE
+
+
+def emit(result) -> None:
+    """Print the regenerated table (visible with pytest -s)."""
+    print()
+    print(result)

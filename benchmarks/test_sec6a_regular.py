@@ -1,0 +1,21 @@
+"""E-ND (§VI-A): impact on non-divergent (regular) applications.
+
+Paper: the warp-aware stack gives regular, bandwidth-bound workloads a
+modest +1.8% with *no* application slowing down — the warp-group scoring
+degenerates to row-hit streaming when warps issue one request each.
+"""
+
+from repro.analysis.experiments import sec6a_regular
+
+from conftest import emit
+
+
+def test_sec6a_regular_apps(runner, benchmark):
+    result = benchmark.pedantic(
+        sec6a_regular, args=(runner,), rounds=1, iterations=1
+    )
+    emit(result)
+    # No meaningful slowdown on any regular benchmark...
+    assert result.headline["worst_case"] >= 0.97
+    # ...and a neutral-to-positive overall effect.
+    assert result.headline["regular_speedup"] >= 0.99

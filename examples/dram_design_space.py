@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Ablations over the DRAM design space called out in DESIGN.md.
+
+Three studies:
+
+1. MERB is technology-specific: print the boot-time MERB tables for GDDR5
+   and a DDR3-like device (Table I only holds for GDDR5 timing).
+2. Command-queue depth: the transaction scheduler's look-ahead window
+   trades row locality against scheduling agility.
+3. Write-drain watermarks: hysteresis width vs. read stall time.
+
+Run:  python examples/dram_design_space.py
+"""
+
+import dataclasses
+
+from repro import SimConfig, Scale, synthetic_trace, simulate
+from repro.analysis import format_table
+from repro.dram.timing import DDR3_TIMING, GDDR5_TIMING
+from repro.mc.merb import merb_table, single_bank_utilization
+from repro.workloads.profiles import IRREGULAR_PROFILES
+
+
+def merb_study() -> None:
+    g5 = merb_table(GDDR5_TIMING, 16)
+    d3 = merb_table(DDR3_TIMING, 8)
+    rows = [[b, g5[b], d3[min(b, 8)]] for b in range(1, 9)]
+    print(format_table(
+        ["busy banks", "GDDR5 MERB", "DDR3 MERB"], rows,
+        title="Ablation 1 - MERB tables per DRAM technology",
+    ))
+    print(f"  GDDR5 single-bank streak utilization at MERB=31: "
+          f"{single_bank_utilization(31, GDDR5_TIMING):.0%}\n")
+
+
+def depth_study(trace, cfg) -> None:
+    rows = []
+    for depth in (2, 4, 8, 16):
+        mc = dataclasses.replace(cfg.mc, command_queue_depth=depth)
+        c = dataclasses.replace(cfg, mc=mc)
+        for sched in ("gmc", "wg-w"):
+            s = simulate(c.with_scheduler(sched), trace).summary()
+            rows.append([depth, sched, s["ipc"], s["row_hit_rate"],
+                         s["divergence_ns"]])
+    print(format_table(
+        ["cq depth", "scheduler", "IPC", "row hit", "divergence ns"], rows,
+        title="Ablation 2 - per-bank command queue depth",
+    ))
+    print()
+
+
+def watermark_study(trace, cfg) -> None:
+    rows = []
+    for hw, lw in ((16, 8), (32, 16), (48, 24)):
+        mc = dataclasses.replace(
+            cfg.mc, write_high_watermark=hw, write_low_watermark=lw
+        )
+        c = dataclasses.replace(cfg, mc=mc)
+        s = simulate(c.with_scheduler("wg-w"), trace).summary()
+        rows.append([f"{hw}/{lw}", s["ipc"], s["effective_latency_ns"],
+                     s["write_intensity"]])
+    print(format_table(
+        ["HW/LW", "IPC", "stall ns", "write intensity"], rows,
+        title="Ablation 3 - write-drain watermarks (WG-W)",
+    ))
+
+
+def main() -> None:
+    cfg = SimConfig()
+    profile = IRREGULAR_PROFILES["nw"]  # write-heavy: exercises all three
+    trace = synthetic_trace(profile, cfg, seed=1, scale=Scale.QUICK.factor)
+    merb_study()
+    depth_study(trace, cfg)
+    watermark_study(trace, cfg)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Domain scenario: GPU graph analytics under warp-aware scheduling.
+
+The paper's motivation is HPC/enterprise irregular workloads — graph
+traversals being the canonical case.  This example builds *real* traces by
+running BFS and SSSP over a synthetic scale-free graph, characterizes
+their memory-access irregularity (the Fig. 2/3 statistics), and measures
+how much of the divergence penalty warp-aware scheduling recovers.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro import Scale, SimConfig, simulate
+from repro.analysis import format_table
+from repro.workloads.algorithms import bfs_trace, sssp_trace
+
+
+def characterize(name: str, trace, cfg: SimConfig):
+    print(f"--- {name}: {len(trace.warps)} warps, "
+          f"{trace.total_memory_ops()} memory instructions")
+    out = {}
+    for sched in ("gmc", "wg", "wg-w"):
+        stats = simulate(cfg.with_scheduler(sched), trace)
+        out[sched] = stats.summary()
+    s = out["gmc"]
+    print(f"  irregularity: {s['requests_per_load']:.1f} requests/load, "
+          f"{s['frac_divergent_loads']:.0%} divergent loads, "
+          f"{s['channels_per_warp']:.1f} controllers/warp, "
+          f"last/first latency {s['last_over_first']:.2f}x")
+    return out
+
+
+def main() -> None:
+    cfg = SimConfig()
+    scale = Scale.QUICK
+
+    print("Generating graph workloads (running BFS/SSSP on the host)...\n")
+    bfs = bfs_trace(cfg, n_vertices=150_000, seed=1,
+                    max_frontier_warps=int(1200 * scale.factor))
+    sssp = sssp_trace(cfg, n_vertices=120_000, seed=1,
+                      max_warps=int(1400 * scale.factor))
+
+    rows = []
+    for name, trace in (("bfs", bfs), ("sssp", sssp)):
+        out = characterize(name, trace, cfg)
+        base = out["gmc"]
+        for sched in ("wg", "wg-w"):
+            s = out[sched]
+            rows.append([
+                name, sched,
+                s["ipc"] / base["ipc"],
+                1 - s["divergence_ns"] / base["divergence_ns"]
+                if base["divergence_ns"] else 0.0,
+                1 - s["effective_latency_ns"] / base["effective_latency_ns"],
+            ])
+        print()
+
+    print(format_table(
+        ["kernel", "scheduler", "speedup vs GMC", "divergence cut", "stall cut"],
+        rows,
+        title="Warp-aware scheduling on graph analytics",
+    ))
+    print("\nTakeaway: the data-dependent neighbor gathers of graph kernels"
+          "\nspread each warp's requests across rows, banks and channels;"
+          "\nservicing them as warp-groups returns them in close succession.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation: every table and figure.
+
+Runs the experiment drivers of ``repro.analysis.experiments`` and prints
+each result as an ASCII table (one row per benchmark, one column per
+series), with the paper's reported numbers noted underneath.
+
+Run:
+    python examples/reproduce_paper.py                      # quick scale
+    python examples/reproduce_paper.py --scale paper        # full scale
+    python examples/reproduce_paper.py --only fig8 fig11    # subset
+    python examples/reproduce_paper.py --kind algorithmic   # real-algorithm traces
+"""
+
+import argparse
+import os
+import time
+
+from repro.analysis import run_all
+from repro.analysis.experiments import (
+    fig2_coalescing,
+    fig3_divergence,
+    fig4_opportunity,
+    fig8_ipc,
+    fig9_latency,
+    fig10_divergence,
+    fig11_bandwidth,
+    fig12_writes,
+    sec6a_regular,
+    sec6b_power,
+    sec6c_comparison,
+    table1_merb,
+)
+from repro.analysis.runner import ExperimentRunner
+from repro.workloads.suite import Scale
+
+DRIVERS = {
+    "fig2": fig2_coalescing,
+    "fig3": fig3_divergence,
+    "fig4": fig4_opportunity,
+    "table1": lambda r: table1_merb(r.config),
+    "fig8": fig8_ipc,
+    "fig9": fig9_latency,
+    "fig10": fig10_divergence,
+    "fig11": fig11_bandwidth,
+    "fig12": fig12_writes,
+    "sec6a": sec6a_regular,
+    "sec6b": sec6b_power,
+    "sec6c": sec6c_comparison,
+}
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", choices=[s.name.lower() for s in Scale],
+                    default="quick")
+    ap.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    ap.add_argument("--kind", choices=["synthetic", "algorithmic"],
+                    default="synthetic")
+    ap.add_argument("--only", nargs="+", choices=sorted(DRIVERS),
+                    help="run a subset of experiments")
+    ap.add_argument("--cache-dir", default=".repro-results",
+                    help="simulation result cache (JSON per run)")
+    ap.add_argument("--out", help="also write each table to this directory")
+    args = ap.parse_args()
+
+    scale = Scale[args.scale.upper()]
+    t0 = time.time()
+    if args.only:
+        runner = ExperimentRunner(
+            scale=scale, seeds=tuple(args.seeds), kind=args.kind,
+            cache_dir=args.cache_dir, verbose=True,
+        )
+        results = {name: DRIVERS[name](runner) for name in args.only}
+    else:
+        results = run_all(
+            scale=scale, seeds=tuple(args.seeds), kind=args.kind,
+            cache_dir=args.cache_dir, verbose=True,
+        )
+
+    for rid, res in results.items():
+        print()
+        print(res)
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            with open(os.path.join(args.out, f"{rid}.txt"), "w") as fh:
+                fh.write(str(res) + "\n")
+
+    print(f"\nDone in {time.time() - t0:.0f}s "
+          f"(scale={scale.name}, kind={args.kind}, seeds={args.seeds}).")
+
+
+if __name__ == "__main__":
+    main()

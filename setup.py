@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs on toolchains without
+the `wheel` package (modern PEP 660 editable builds need bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,124 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``run BENCH``   — simulate one benchmark under one scheduler and print
+  the summary metrics;
+* ``compare BENCH`` — all schedulers on one benchmark;
+* ``reproduce``   — regenerate the paper's tables and figures;
+* ``list``        — available benchmarks and schedulers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro.idealized  # noqa: F401  (registers zero-div)
+from repro import (
+    ALL_PROFILES,
+    SCHEDULERS,
+    Scale,
+    SimConfig,
+    benchmark_names,
+    build_benchmark,
+    simulate,
+    synthetic_trace,
+)
+from repro.analysis import format_table, run_all
+
+
+def _trace(args, cfg):
+    if args.kind == "synthetic":
+        return synthetic_trace(
+            ALL_PROFILES[args.benchmark], cfg, seed=args.seed,
+            scale=Scale[args.scale.upper()].factor,
+        )
+    return build_benchmark(
+        args.benchmark, cfg, Scale[args.scale.upper()], seed=args.seed
+    )
+
+
+def cmd_run(args) -> int:
+    cfg = SimConfig(scheduler=args.scheduler)
+    stats = simulate(cfg, _trace(args, cfg))
+    for key, value in stats.summary().items():
+        print(f"{key:24s} {value:.4f}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    cfg = SimConfig()
+    trace = _trace(args, cfg)
+    rows = []
+    base = None
+    for sched in ("gmc", "wg", "wg-m", "wg-bw", "wg-w"):
+        s = simulate(cfg.with_scheduler(sched), trace).summary()
+        if base is None:
+            base = s["ipc"]
+        rows.append([sched, s["ipc"], s["ipc"] / base, s["effective_latency_ns"],
+                     s["divergence_ns"], s["bandwidth_utilization"]])
+    print(format_table(
+        ["scheduler", "IPC", "vs GMC", "stall ns", "div ns", "bus util"],
+        rows, title=args.benchmark,
+    ))
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    results = run_all(
+        scale=Scale[args.scale.upper()], seeds=tuple(args.seeds),
+        kind=args.kind, cache_dir=args.cache_dir, verbose=True,
+    )
+    for res in results.values():
+        print()
+        print(res)
+    return 0
+
+
+def cmd_list(_args) -> int:
+    print("benchmarks:", ", ".join(benchmark_names()))
+    print("schedulers:", ", ".join(sorted(SCHEDULERS)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    def common(p):
+        p.add_argument("--scale", default="quick",
+                       choices=[s.name.lower() for s in Scale])
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--kind", default="synthetic",
+                       choices=["synthetic", "algorithmic"])
+
+    p_run = sub.add_parser("run", help="simulate one benchmark")
+    p_run.add_argument("benchmark", choices=sorted(benchmark_names()))
+    p_run.add_argument("--scheduler", default="wg-w", choices=sorted(SCHEDULERS))
+    common(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="all paper schedulers on a benchmark")
+    p_cmp.add_argument("benchmark", choices=sorted(benchmark_names()))
+    common(p_cmp)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_rep = sub.add_parser("reproduce", help="regenerate the paper's evaluation")
+    p_rep.add_argument("--scale", default="quick",
+                       choices=[s.name.lower() for s in Scale])
+    p_rep.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    p_rep.add_argument("--kind", default="synthetic",
+                       choices=["synthetic", "algorithmic"])
+    p_rep.add_argument("--cache-dir", default=".repro-results")
+    p_rep.set_defaults(fn=cmd_reproduce)
+
+    p_list = sub.add_parser("list", help="available benchmarks and schedulers")
+    p_list.set_defaults(fn=cmd_list)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

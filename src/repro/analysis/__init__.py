@@ -1,0 +1,47 @@
+"""Experiment drivers and reporting for the paper's evaluation."""
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    fig2_coalescing,
+    fig3_divergence,
+    fig4_opportunity,
+    fig8_ipc,
+    fig9_latency,
+    fig10_divergence,
+    fig11_bandwidth,
+    fig12_writes,
+    run_all,
+    sec6a_regular,
+    sec6b_power,
+    sec6c_comparison,
+    table1_merb,
+)
+from repro.analysis.plotting import chart_result, hbar_chart, sparkline
+from repro.analysis.report import bar, format_table, geomean, rows_to_csv
+from repro.analysis.runner import ExperimentRunner, prefetch_parallel
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRunner",
+    "bar",
+    "chart_result",
+    "hbar_chart",
+    "prefetch_parallel",
+    "sparkline",
+    "fig10_divergence",
+    "fig11_bandwidth",
+    "fig12_writes",
+    "fig2_coalescing",
+    "fig3_divergence",
+    "fig4_opportunity",
+    "fig8_ipc",
+    "fig9_latency",
+    "format_table",
+    "geomean",
+    "rows_to_csv",
+    "run_all",
+    "sec6a_regular",
+    "sec6b_power",
+    "sec6c_comparison",
+    "table1_merb",
+]

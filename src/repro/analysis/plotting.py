@@ -1,0 +1,107 @@
+"""Terminal chart rendering for experiment results.
+
+Matplotlib-free, dependency-free: grouped horizontal bar charts and
+sparklines good enough to eyeball every figure the paper draws, straight
+from a terminal.  ``chart_result`` renders an
+:class:`~repro.analysis.experiments.ExperimentResult` whose rows are
+(benchmark, series...) tuples — i.e. all of Figs. 8-12.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["hbar_chart", "sparkline", "chart_result"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    if vmax <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / vmax))
+    cells = frac * width
+    full = int(cells)
+    rem = cells - full
+    out = "█" * full
+    if rem > 0 and full < width:
+        out += _BLOCKS[int(rem * 8) + 1]
+    return out
+
+
+def hbar_chart(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+    vmax: Optional[float] = None,
+    baseline: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Grouped horizontal bar chart.
+
+    ``series`` maps a series name to one value per label.  ``baseline``
+    draws a marker column (e.g. 1.0 for normalized-IPC charts).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    for name, vals in series.items():
+        if len(vals) != len(labels):
+            raise ValueError(f"series {name!r} has {len(vals)} values for "
+                             f"{len(labels)} labels")
+    all_vals = [v for vals in series.values() for v in vals]
+    top = vmax if vmax is not None else max(all_vals + [baseline or 0.0])
+    if top <= 0:
+        top = 1.0
+    label_w = max(len(x) for x in labels)
+    name_w = max(len(n) for n in series)
+    lines = []
+    mark = int(round((baseline / top) * width)) if baseline else None
+    for i, label in enumerate(labels):
+        for j, (name, vals) in enumerate(series.items()):
+            bar = _bar(vals[i], top, width)
+            if mark is not None and 0 < mark <= width:
+                bar = bar.ljust(width)
+                marker = "|" if len(bar) < mark or bar[mark - 1] == " " else "┃"
+                bar = bar[: mark - 1] + marker + bar[mark:]
+            head = label if j == 0 else ""
+            lines.append(
+                f"{head:>{label_w}}  {name:<{name_w}} {bar.rstrip():<{width}} "
+                + fmt.format(vals[i])
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def sparkline(values: Iterable[float]) -> str:
+    """One-line trend, e.g. for windowed bandwidth over time."""
+    vals = list(values)
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARKS[0] * len(vals)
+    return "".join(
+        _SPARKS[int((v - lo) / (hi - lo) * (len(_SPARKS) - 1))] for v in vals
+    )
+
+
+def chart_result(result, width: int = 36, baseline: Optional[float] = None) -> str:
+    """Render an ExperimentResult's numeric columns as a grouped bar chart."""
+    labels = [str(r[0]) for r in result.rows]
+    series: dict[str, list[float]] = {}
+    for col, name in enumerate(result.headers[1:], start=1):
+        vals = []
+        ok = True
+        for row in result.rows:
+            if col >= len(row) or not isinstance(row[col], (int, float)):
+                ok = False
+                break
+            vals.append(float(row[col]))
+        if ok:
+            series[name] = vals
+    if not series:
+        return result.table
+    return f"{result.experiment}\n" + hbar_chart(
+        labels, series, width=width, baseline=baseline
+    )

@@ -1,0 +1,218 @@
+"""Shared experiment runner with result caching.
+
+Figures 8-12 all derive from the same (benchmark x scheduler) sweep, so
+experiments share one :class:`ExperimentRunner`: each simulation runs once
+per (workload kind, benchmark, scheduler, scale, seed) and its summary
+dict is cached in memory and optionally as JSON on disk.
+
+Workload kinds:
+
+* ``synthetic``   — profile-driven traces whose memory signatures are
+  calibrated to the per-benchmark statistics the paper reports (default
+  for figure regeneration);
+* ``algorithmic`` — traces emitted by actually running each algorithm
+  (secondary validation; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.core.config import SimConfig
+from repro.gpu.system import simulate
+from repro.idealized import perfect_coalescing
+from repro.workloads.profiles import ALL_PROFILES, IRREGULAR_BENCHMARKS, REGULAR_BENCHMARKS
+from repro.workloads.suite import Scale, build_benchmark
+from repro.workloads.synthetic import synthetic_trace
+from repro.workloads.trace import KernelTrace
+
+__all__ = ["ExperimentRunner", "run_one_job", "prefetch_parallel"]
+
+_CACHE_VERSION = 7  # bump to invalidate stale on-disk results
+
+
+def run_one_job(job: tuple) -> tuple:
+    """Worker entry point for parallel sweeps (must be module-level for
+    pickling).  ``job`` = (config, scale_name, kind, bench, scheduler,
+    seed, perfect, cache_dir, tag); returns (job key fields, summary)."""
+    config, scale_name, kind, bench, scheduler, seed, perfect, cache_dir, tag = job
+    runner = ExperimentRunner(
+        config=config,
+        scale=Scale[scale_name],
+        seeds=(seed,),
+        kind=kind,
+        cache_dir=cache_dir,
+        tag=tag,
+    )
+    summary = runner.run(bench, scheduler, seed, perfect)
+    return (bench, scheduler, seed, perfect), summary
+
+
+def prefetch_parallel(
+    runner: "ExperimentRunner",
+    benchmarks,
+    schedulers,
+    workers: int = 4,
+    perfect: bool = False,
+) -> int:
+    """Fill the runner's disk cache with a (benchmark x scheduler x seed)
+    sweep using a process pool.  Requires ``cache_dir`` (workers
+    communicate through it).  Returns the number of simulations run.
+
+    The subsequent ``runner.mean(...)`` calls then hit the disk cache, so
+    figure generation after a parallel prefetch is effectively free.
+    """
+    if runner.cache_dir is None:
+        raise ValueError("parallel prefetch requires a cache_dir")
+    from concurrent.futures import ProcessPoolExecutor
+
+    jobs = [
+        (
+            runner.config,
+            runner.scale.name,
+            runner.kind,
+            bench,
+            sched,
+            seed,
+            perfect,
+            runner.cache_dir,
+            runner.tag,
+        )
+        for bench in benchmarks
+        for sched in schedulers
+        for seed in runner.seeds
+    ]
+    count = 0
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for _key, _summary in pool.map(run_one_job, jobs):
+            count += 1
+    return count
+
+
+class ExperimentRunner:
+    """Runs (benchmark, scheduler) pairs once and caches their summaries."""
+
+    def __init__(
+        self,
+        config: Optional[SimConfig] = None,
+        scale: Scale = Scale.QUICK,
+        seeds: tuple[int, ...] = (1, 2),
+        kind: str = "synthetic",
+        cache_dir: Optional[str] = None,
+        verbose: bool = False,
+        tag: str = "",
+    ) -> None:
+        if kind not in ("synthetic", "algorithmic"):
+            raise ValueError("kind must be 'synthetic' or 'algorithmic'")
+        self.config = config or SimConfig()
+        self.scale = scale
+        self.seeds = seeds
+        self.kind = kind
+        self.cache_dir = cache_dir
+        self.verbose = verbose
+        self.tag = tag  # distinguishes non-default configs in the cache
+        self._traces: dict[tuple[str, int, bool], KernelTrace] = {}
+        self._results: dict[tuple, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # workload construction
+    # ------------------------------------------------------------------
+    def trace(self, bench: str, seed: int, perfect: bool = False) -> KernelTrace:
+        key = (bench, seed, perfect)
+        if key not in self._traces:
+            if self.kind == "synthetic":
+                profile = ALL_PROFILES[bench]
+                t = synthetic_trace(
+                    profile, self.config, seed=seed, scale=self.scale.factor
+                )
+            else:
+                t = build_benchmark(bench, self.config, self.scale, seed=seed)
+            if perfect:
+                t = perfect_coalescing(t)
+            self._traces[key] = t
+        return self._traces[key]
+
+    # ------------------------------------------------------------------
+    # simulation with caching
+    # ------------------------------------------------------------------
+    def _cache_path(self, key: tuple) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        name = "-".join(str(k) for k in key) + f"-v{_CACHE_VERSION}.json"
+        return os.path.join(self.cache_dir, name)
+
+    def run(
+        self, bench: str, scheduler: str, seed: int, perfect: bool = False
+    ) -> dict[str, float]:
+        key = (self.kind, bench, scheduler, self.scale.name, seed, int(perfect), self.tag)
+        if key in self._results:
+            return self._results[key]
+        path = self._cache_path(key)
+        if path and os.path.exists(path):
+            with open(path) as fh:
+                result = json.load(fh)
+            self._results[key] = result
+            return result
+        if self.verbose:
+            print(f"  simulating {bench} / {scheduler} (seed {seed}) ...", flush=True)
+        trace = self.trace(bench, seed, perfect)
+        stats = simulate(self.config.with_scheduler(scheduler), trace)
+        result = stats.summary()
+        # Extras the figures need beyond the headline summary.
+        recs = stats.dram_loads()
+        result["unit_group_frac"] = (
+            sum(1 for r in recs if r.dram_requests == 1) / len(recs) if recs else 0.0
+        )
+        result["banks_per_warp"] = (
+            sum(r.banks_touched for r in recs if r.dram_requests > 1)
+            / max(1, sum(1 for r in recs if r.dram_requests > 1))
+        )
+        result["activates"] = float(sum(c.activates for c in stats.channels))
+        result["reads"] = float(sum(c.reads for c in stats.channels))
+        result["writes"] = float(sum(c.writes for c in stats.channels))
+        result["coord_msgs"] = float(
+            sum(c.coordination_msgs_applied for c in stats.channels)
+        )
+        result["merb_deferrals"] = float(
+            sum(c.merb_deferrals for c in stats.channels)
+        )
+        result["wgw_promotions"] = float(
+            sum(c.wgw_promotions for c in stats.channels)
+        )
+        self._results[key] = result
+        if path:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            with open(path, "w") as fh:
+                json.dump(result, fh)
+        return result
+
+    def mean(self, bench: str, scheduler: str, perfect: bool = False) -> dict[str, float]:
+        """Summary averaged over the runner's seeds."""
+        runs = [self.run(bench, scheduler, s, perfect) for s in self.seeds]
+        keys = set().union(*(r.keys() for r in runs))
+        return {k: sum(r.get(k, 0.0) for r in runs) / len(runs) for k in keys}
+
+    def seed_spread(self, bench: str, scheduler: str, metric: str = "ipc") -> tuple[float, float]:
+        """(mean, max absolute deviation) of a metric across seeds — the
+        noise floor to quote next to small scheduler deltas."""
+        vals = [self.run(bench, scheduler, s)[metric] for s in self.seeds]
+        mean = sum(vals) / len(vals)
+        spread = max(abs(v - mean) for v in vals) if len(vals) > 1 else 0.0
+        return mean, spread
+
+    # ------------------------------------------------------------------
+    # derived metrics
+    # ------------------------------------------------------------------
+    def speedup(self, bench: str, scheduler: str, base: str = "gmc") -> float:
+        """IPC normalized to the baseline scheduler (Fig. 8's y-axis)."""
+        return self.mean(bench, scheduler)["ipc"] / self.mean(bench, base)["ipc"]
+
+    @staticmethod
+    def irregular_benchmarks() -> tuple[str, ...]:
+        return IRREGULAR_BENCHMARKS
+
+    @staticmethod
+    def regular_benchmarks() -> tuple[str, ...]:
+        return REGULAR_BENCHMARKS

@@ -1,0 +1,236 @@
+"""Memory request and warp-group bookkeeping shared by GPU and controllers.
+
+A *warp-group* (paper §IV-A) is the set of memory requests one warp's vector
+load contributes to one memory controller.  Because a warp blocks on each
+divergent load, a warp has at most one group in flight per controller at a
+time; the group key is therefore ``(sm_id, warp_id)``.
+
+The paper closes a group at a controller by tagging the warp's *last
+request to that controller* (the SM knows the per-channel counts after
+coalescing and address routing, and the interconnect preserves per-SM
+order).  L2 lookups filter requests on the way, so the equivalent condition
+is: all requests of the load destined for channel *c* have resolved (L2 hit
+or controller admission).  :class:`LoadTransaction` tracks this per channel
+and announces the group's size to the controller the moment its subset is
+fully admitted — see ``note_dispatched`` / ``note_resolved``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["MemoryRequest", "LoadTransaction", "warp_key"]
+
+_req_ids = itertools.count()
+
+
+def warp_key(sm_id: int, warp_id: int) -> tuple[int, int]:
+    """Identity of a warp-group owner at a memory controller."""
+    return (sm_id, warp_id)
+
+
+@dataclass(slots=True, eq=False)  # identity semantics: hashable, unique
+class MemoryRequest:
+    """A single coalesced 128B memory access as seen below the coalescer.
+
+    Address decomposition fields (channel/bank/row/col) are filled by the
+    address mapper before the request enters the interconnect.
+    """
+
+    addr: int
+    is_write: bool
+    sm_id: int
+    warp_id: int
+    req_id: int = field(default_factory=lambda: next(_req_ids))
+
+    # Address decomposition (set by repro.gpu.address_map.AddressMap.route)
+    channel: int = -1
+    bank: int = -1
+    row: int = -1
+    col: int = -1
+
+    # Lifecycle timestamps, picoseconds (-1 = not reached)
+    t_issue: int = -1  # left the coalescer
+    t_mc_arrival: int = -1  # entered the controller read/write queue
+    t_scheduled: int = -1  # picked by the transaction scheduler
+    t_data: int = -1  # DRAM data burst complete
+    t_return: int = -1  # arrived back at the SM
+
+    transaction: Optional["LoadTransaction"] = None
+
+    # Outcome annotations used by statistics
+    serviced_by: str = ""  # "l1" | "l2" | "dram" | "wq" (write-queue hit)
+    was_row_hit: bool = False
+
+    @property
+    def warp(self) -> tuple[int, int]:
+        return (self.sm_id, self.warp_id)
+
+    def mc_latency_ps(self) -> int:
+        """Queue-arrival to data-ready latency at the controller."""
+        if self.t_data < 0 or self.t_mc_arrival < 0:
+            raise ValueError("request never completed at a controller")
+        return self.t_data - self.t_mc_arrival
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "W" if self.is_write else "R"
+        return (
+            f"Req#{self.req_id}[{kind} sm{self.sm_id} w{self.warp_id} "
+            f"ch{self.channel} b{self.bank} r{self.row}]"
+        )
+
+
+class LoadTransaction:
+    """Tracks one warp vector-load from issue until the last reply returns.
+
+    Responsibilities:
+
+    * count outstanding replies so the SM knows when to unblock the warp;
+    * record first/last reply times (overall and main-memory-only) for the
+      latency-divergence statistics;
+    * detect, per memory channel, when no further requests of this load
+      can arrive at that controller, and announce the warp-group's size
+      there (the paper's last-request tag).
+    """
+
+    __slots__ = (
+        "sm_id",
+        "warp_id",
+        "n_requests",
+        "outstanding",
+        "t_issue",
+        "t_first_return",
+        "t_last_return",
+        "t_first_dram",
+        "t_last_dram",
+        "dram_requests",
+        "channels_touched",
+        "banks_touched",
+        "on_complete",
+        "on_group_complete",
+        "row_hits",
+        "_dispatched",
+        "_resolved",
+        "_dram_bound",
+        "_dispatch_done",
+    )
+
+    def __init__(
+        self,
+        sm_id: int,
+        warp_id: int,
+        n_requests: int,
+        t_issue: int,
+        on_complete: Optional[Callable[["LoadTransaction"], None]] = None,
+        on_group_complete: Optional[Callable[[int, tuple[int, int], int], None]] = None,
+    ) -> None:
+        if n_requests <= 0:
+            raise ValueError("a load must carry at least one request")
+        self.sm_id = sm_id
+        self.warp_id = warp_id
+        self.n_requests = n_requests
+        self.outstanding = n_requests  # replies still owed to the SM
+        self.t_issue = t_issue
+        self.t_first_return = -1
+        self.t_last_return = -1
+        self.t_first_dram = -1  # replies serviced by the memory system only
+        self.t_last_dram = -1
+        self.dram_requests = 0
+        self.channels_touched: set[int] = set()
+        self.banks_touched: set[tuple[int, int]] = set()
+        self.on_complete = on_complete
+        self.on_group_complete = on_group_complete
+        self.row_hits = 0
+        # Per-channel group accounting (the last-request tag).
+        self._dispatched: dict[int, int] = {}
+        self._resolved: dict[int, int] = {}
+        self._dram_bound: dict[int, int] = {}
+        self._dispatch_done = False
+
+    # -- dispatch-side bookkeeping (at the SM) -------------------------------
+    def note_dispatched(self, channel: int) -> None:
+        """A request of this load left the SM toward ``channel``."""
+        if self._dispatch_done:
+            raise ValueError("dispatch after finish_dispatch()")
+        self._dispatched[channel] = self._dispatched.get(channel, 0) + 1
+
+    def finish_dispatch(self) -> None:
+        """The SM issued the load's last request; per-channel counts final."""
+        self._dispatch_done = True
+        for ch in list(self._dispatched):
+            self._check_channel(ch)
+
+    # -- resolution-side bookkeeping (at L2 slices and controllers) -----------
+    def note_resolved(self, channel: int, to_dram: bool) -> None:
+        """A request finished its L2 lookup on ``channel``.
+
+        ``to_dram`` is True when it was admitted to the controller (and so
+        joined the warp-group there) — L2 hits, MSHR merges and write-queue
+        forwards resolve with ``to_dram=False``.
+        """
+        self._resolved[channel] = self._resolved.get(channel, 0) + 1
+        if to_dram:
+            self._dram_bound[channel] = self._dram_bound.get(channel, 0) + 1
+        self._check_channel(channel)
+
+    def _check_channel(self, channel: int) -> None:
+        if not self._dispatch_done or self.on_group_complete is None:
+            return
+        dispatched = self._dispatched.get(channel, 0)
+        if self._resolved.get(channel, 0) != dispatched:
+            return
+        count = self._dram_bound.get(channel, 0)
+        if count > 0:
+            self.on_group_complete(channel, (self.sm_id, self.warp_id), count)
+
+    def note_dram_bound(self, req: MemoryRequest) -> None:
+        """Statistics: a request joined channel ``req.channel``'s group."""
+        self.dram_requests += 1
+        self.channels_touched.add(req.channel)
+        self.banks_touched.add((req.channel, req.bank))
+
+    # -- reply bookkeeping ---------------------------------------------------
+    def note_return(self, now_ps: int, req: Optional[MemoryRequest] = None) -> None:
+        """A reply reached the SM at ``now_ps``."""
+        if self.outstanding <= 0:
+            raise ValueError("reply for an already-complete load")
+        if self.t_first_return < 0:
+            self.t_first_return = now_ps
+        self.t_last_return = now_ps
+        if req is not None and req.t_data >= 0:
+            # Serviced by the main memory system (DRAM or write-queue
+            # forward) — the population Fig. 3's divergence gap measures.
+            if self.t_first_dram < 0:
+                self.t_first_dram = now_ps
+            self.t_last_dram = now_ps
+        if req is not None and req.was_row_hit:
+            self.row_hits += 1
+        self.outstanding -= 1
+        if self.outstanding == 0 and self.on_complete is not None:
+            self.on_complete(self)
+
+    # -- statistics -----------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        return self.outstanding == 0
+
+    def divergence_ps(self) -> int:
+        """Gap between first and last main-memory reply (0 if none)."""
+        if not self.complete:
+            raise ValueError("load not complete")
+        if self.t_first_dram < 0:
+            return 0
+        return self.t_last_dram - self.t_first_dram
+
+    def effective_latency_ps(self) -> int:
+        """Issue-to-last-reply latency: the warp's memory stall time."""
+        if not self.complete:
+            raise ValueError("load not complete")
+        return self.t_last_return - self.t_issue
+
+    def first_latency_ps(self) -> int:
+        if self.t_first_return < 0:
+            raise ValueError("no reply recorded")
+        return self.t_first_return - self.t_issue

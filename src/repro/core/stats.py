@@ -1,0 +1,279 @@
+"""Statistics collection for simulations.
+
+Three layers:
+
+* :class:`Histogram` — cheap streaming summary (count/sum/min/max + sample
+  reservoir for percentiles);
+* :class:`ChannelStats` — per-memory-controller counters (row hits, drains,
+  bus occupancy);
+* :class:`SimStats` — whole-run aggregation, including the per-load records
+  that Figs. 3, 9 and 10 of the paper are computed from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["Histogram", "ChannelStats", "LoadRecord", "SimStats"]
+
+
+class Histogram:
+    """Streaming mean/min/max with a bounded reservoir for percentiles."""
+
+    __slots__ = ("count", "total", "min", "max", "_reservoir", "_capacity", "_rng")
+
+    def __init__(self, capacity: int = 4096, seed: int = 12345) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._reservoir: list[float] = []
+        self._capacity = capacity
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self._capacity:
+                self._reservoir[j] = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the reservoir (q in [0, 100])."""
+        if not self._reservoir:
+            return 0.0
+        data = sorted(self._reservoir)
+        idx = min(len(data) - 1, max(0, int(round(q / 100.0 * (len(data) - 1)))))
+        return data[idx]
+
+    def __len__(self) -> int:
+        return self.count
+
+
+@dataclass
+class ChannelStats:
+    """Counters maintained by one memory controller / DRAM channel."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    activates: int = 0
+    precharges: int = 0
+    write_drains: int = 0
+    drain_writes: int = 0
+    refreshes: int = 0
+    data_bus_busy_ps: int = 0
+    read_queue_full_events: int = 0
+    coordination_msgs_sent: int = 0
+    coordination_msgs_applied: int = 0
+    merb_deferrals: int = 0
+    orphan_rescues: int = 0
+    wgw_promotions: int = 0
+    read_latency: Histogram = field(default_factory=Histogram)
+    queue_depth: Histogram = field(default_factory=Histogram)
+    # Latency breakdown (ns): time waiting for the transaction scheduler
+    # vs. time from command-queue insertion to data.
+    sorter_wait: Histogram = field(default_factory=Histogram)
+    service_time: Histogram = field(default_factory=Histogram)
+    # Per-bank column-access counts (bank-imbalance diagnostics).
+    bank_columns: list[int] = field(default_factory=list)
+
+    def note_bank_column(self, bank: int) -> None:
+        if len(self.bank_columns) <= bank:
+            self.bank_columns.extend([0] * (bank + 1 - len(self.bank_columns)))
+        self.bank_columns[bank] += 1
+
+    def bank_imbalance(self) -> float:
+        """max/mean per-bank column accesses (1.0 = perfectly balanced)."""
+        busy = [c for c in self.bank_columns if c > 0]
+        if not busy:
+            return 1.0
+        return max(busy) / (sum(busy) / len(busy))
+
+    @property
+    def column_accesses(self) -> int:
+        return self.reads + self.writes
+
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def bandwidth_utilization(self, elapsed_ps: int) -> float:
+        """Fraction of wall-clock time the data bus moved data."""
+        return self.data_bus_busy_ps / elapsed_ps if elapsed_ps > 0 else 0.0
+
+
+@dataclass(slots=True)
+class LoadRecord:
+    """Per-vector-load record used by the divergence/latency figures."""
+
+    sm_id: int
+    warp_id: int
+    n_requests: int
+    dram_requests: int
+    channels_touched: int
+    banks_touched: int
+    t_issue: int
+    t_first_return: int
+    t_last_return: int
+    t_first_dram: int = -1
+    t_last_dram: int = -1
+
+    @property
+    def divergence_ps(self) -> int:
+        """Gap between first and last *main-memory* reply (Fig. 3/10)."""
+        if self.t_first_dram < 0:
+            return 0
+        return self.t_last_dram - self.t_first_dram
+
+    @property
+    def effective_latency_ps(self) -> int:
+        """Issue to last reply: the warp's memory stall time (Fig. 9)."""
+        return self.t_last_return - self.t_issue
+
+    @property
+    def first_latency_ps(self) -> int:
+        return self.t_first_return - self.t_issue
+
+    @property
+    def last_over_first(self) -> float:
+        """Last/first main-memory request latency ratio (Fig. 3)."""
+        if self.t_first_dram < 0:
+            return 1.0
+        first = self.t_first_dram - self.t_issue
+        last = self.t_last_dram - self.t_issue
+        return last / first if first > 0 else 1.0
+
+
+class SimStats:
+    """Whole-run aggregation."""
+
+    def __init__(self, num_channels: int) -> None:
+        self.channels = [ChannelStats() for _ in range(num_channels)]
+        self.load_records: list[LoadRecord] = []
+        self.warp_instructions = 0
+        self.loads_issued = 0
+        self.requests_issued = 0
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.elapsed_ps = 0
+
+    # -- recording ----------------------------------------------------------
+    def record_load(self, rec: LoadRecord) -> None:
+        self.load_records.append(rec)
+
+    # -- summary metrics ------------------------------------------------------
+    def ipc(self) -> float:
+        """Warp instructions retired per nanosecond (relative-IPC proxy).
+
+        The paper reports IPC normalized to the GMC baseline; any fixed
+        time unit cancels in the normalization, so instructions/ns is used.
+        """
+        return self.warp_instructions / (self.elapsed_ps / 1000.0) if self.elapsed_ps else 0.0
+
+    def dram_loads(self) -> list[LoadRecord]:
+        """Loads that touched DRAM at least once (the divergence population)."""
+        return [r for r in self.load_records if r.dram_requests > 0]
+
+    def mean_effective_latency_ns(self) -> float:
+        recs = self.dram_loads()
+        if not recs:
+            return 0.0
+        return sum(r.effective_latency_ps for r in recs) / len(recs) / 1000.0
+
+    def mean_divergence_ns(self) -> float:
+        recs = [r for r in self.dram_loads() if r.dram_requests > 1]
+        if not recs:
+            return 0.0
+        return sum(r.divergence_ps for r in recs) / len(recs) / 1000.0
+
+    def mean_last_over_first(self) -> float:
+        """Mean last-reply latency over mean first-reply latency (Fig. 3).
+
+        A ratio of means, as the paper phrases it ("the last request's
+        latency is 1.6x the latency of the first request"); a mean of
+        per-load ratios would be dominated by loads whose first reply was
+        nearly instant.
+        """
+        recs = [
+            r
+            for r in self.dram_loads()
+            if r.dram_requests > 1 and r.t_first_dram >= 0
+        ]
+        if not recs:
+            return 1.0
+        first = sum(r.t_first_dram - r.t_issue for r in recs)
+        last = sum(r.t_last_dram - r.t_issue for r in recs)
+        return last / first if first > 0 else 1.0
+
+    def mean_channels_per_divergent_warp(self) -> float:
+        recs = [r for r in self.dram_loads() if r.dram_requests > 1]
+        if not recs:
+            return 0.0
+        return sum(r.channels_touched for r in recs) / len(recs)
+
+    def mean_requests_per_load(self) -> float:
+        if not self.load_records:
+            return 0.0
+        return sum(r.n_requests for r in self.load_records) / len(self.load_records)
+
+    def frac_divergent_loads(self) -> float:
+        """Fraction of loads producing more than one coalesced request (Fig. 2)."""
+        if not self.load_records:
+            return 0.0
+        return sum(1 for r in self.load_records if r.n_requests > 1) / len(self.load_records)
+
+    def total_row_hit_rate(self) -> float:
+        hits = sum(c.row_hits for c in self.channels)
+        total = hits + sum(c.row_misses for c in self.channels)
+        return hits / total if total else 0.0
+
+    def total_bandwidth_utilization(self) -> float:
+        if not self.elapsed_ps:
+            return 0.0
+        busy = sum(c.data_bus_busy_ps for c in self.channels)
+        return busy / (self.elapsed_ps * len(self.channels))
+
+    def write_intensity(self) -> float:
+        """Fraction of DRAM traffic that is writes (Fig. 12)."""
+        reads = sum(c.reads for c in self.channels)
+        writes = sum(c.writes for c in self.channels)
+        total = reads + writes
+        return writes / total if total else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary of the headline metrics (stable keys)."""
+        return {
+            "ipc": self.ipc(),
+            "elapsed_ns": self.elapsed_ps / 1000.0,
+            "effective_latency_ns": self.mean_effective_latency_ns(),
+            "divergence_ns": self.mean_divergence_ns(),
+            "last_over_first": self.mean_last_over_first(),
+            "channels_per_warp": self.mean_channels_per_divergent_warp(),
+            "requests_per_load": self.mean_requests_per_load(),
+            "frac_divergent_loads": self.frac_divergent_loads(),
+            "row_hit_rate": self.total_row_hit_rate(),
+            "bandwidth_utilization": self.total_bandwidth_utilization(),
+            "write_intensity": self.write_intensity(),
+            "l1_hits": float(self.l1_hits),
+            "l2_hits": float(self.l2_hits),
+            "requests_issued": float(self.requests_issued),
+        }

@@ -1,0 +1,21 @@
+"""GDDR5 DRAM device model: banks, channels, timing presets, power."""
+
+from repro.dram.bank import Bank
+from repro.dram.channel import Channel
+from repro.dram.commands import CommandKind, DRAMCommand
+from repro.dram.power import GDDR5PowerParams, PowerBreakdown, estimate_channel_power
+from repro.dram.timing import DDR3_TIMING, GDDR5_ORG, GDDR5_TIMING, ddr3_org
+
+__all__ = [
+    "Bank",
+    "Channel",
+    "CommandKind",
+    "DDR3_TIMING",
+    "DRAMCommand",
+    "GDDR5PowerParams",
+    "GDDR5_ORG",
+    "GDDR5_TIMING",
+    "PowerBreakdown",
+    "ddr3_org",
+    "estimate_channel_power",
+]

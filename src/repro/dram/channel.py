@@ -1,0 +1,172 @@
+"""A GDDR5 channel: banks, bank groups, shared command and data buses.
+
+The channel owns every cross-bank timing constraint:
+
+* command bus — one command per command clock (tCK);
+* tRRD — minimum spacing between ACTs to different banks;
+* tFAW — at most four ACTs in any tFAW window (GDDR5's stronger power
+  delivery gives it a low tFAW; the value comes from the timing config);
+* tCCDL / tCCDS — column-command spacing within / across bank groups (the
+  bank-group advantage of GDDR5 that the baseline GMC command scheduler
+  exploits);
+* data-bus occupancy and read<->write turnaround (tWTR, tRTRS).
+
+All methods are expressed as *earliest-issue queries* plus *issue actions*
+so a memory controller can ask "when could I do X?" without committing.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DRAMOrgConfig, DRAMTimingConfig
+from repro.dram.bank import Bank
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """Timing-accurate model of one 64-bit GDDR5 channel (single rank)."""
+
+    def __init__(self, org: DRAMOrgConfig, timing: DRAMTimingConfig) -> None:
+        self.org = org
+        self.t = timing
+        self.bursts_per_access = org.bursts_per_access
+        self.banks = [
+            Bank(i, i // org.banks_per_group) for i in range(org.banks_per_channel)
+        ]
+        self.next_cmd_free = 0  # command bus
+        self.last_act_any = -(10**15)  # tRRD tracking
+        self.act_window: list[int] = []  # last 4 ACT instants (tFAW)
+        self.last_col_cmd = -(10**15)
+        self.last_col_group = -1
+        self.last_read_data_end = -(10**15)
+        self.last_write_data_end = -(10**15)
+        self.data_bus_free = 0
+        self.data_bus_busy_ps = 0
+        self.commands_issued = 0
+        # Optional protocol audit trail (see repro.dram.validate).
+        self.log = None
+
+    # ------------------------------------------------------------------
+    # earliest-issue queries
+    # ------------------------------------------------------------------
+    def earliest_act(self, bank_idx: int, now: int) -> int:
+        b = self.banks[bank_idx]
+        t = max(now, b.earliest_act, self.next_cmd_free, self.last_act_any + self.t.trrd_ps)
+        if len(self.act_window) >= 4:
+            t = max(t, self.act_window[-4] + self.t.tfaw_ps)
+        return t
+
+    def earliest_pre(self, bank_idx: int, now: int) -> int:
+        b = self.banks[bank_idx]
+        return max(now, b.earliest_pre, self.next_cmd_free)
+
+    def earliest_col(self, bank_idx: int, is_write: bool, now: int) -> int:
+        b = self.banks[bank_idx]
+        t = max(now, b.earliest_col, self.next_cmd_free)
+        # Column-to-column spacing depends on bank-group relationship.
+        if self.last_col_cmd > -(10**14):
+            ccd = self.t.tccdl_ps if b.group == self.last_col_group else self.t.tccds_ps
+            t = max(t, self.last_col_cmd + ccd)
+        if is_write:
+            # Write data must not start before the bus frees (plus a
+            # turnaround bubble after read data).
+            data_lead = self.t.twl_ps
+            t = max(t, self.data_bus_free - data_lead)
+            if self.last_read_data_end > -(10**14):
+                t = max(t, self.last_read_data_end + self.t.trtrs_ps - data_lead)
+        else:
+            data_lead = self.t.tcas_ps
+            t = max(t, self.data_bus_free - data_lead)
+            # tWTR: end of write data -> next read *command*.
+            if self.last_write_data_end > -(10**14):
+                t = max(t, self.last_write_data_end + self.t.twtr_ps)
+        return t
+
+    def earliest_for_request(
+        self, bank_idx: int, row: int, is_write: bool, now: int
+    ) -> int:
+        """Earliest instant the *first* command of a request could issue.
+
+        Used by schedulers for look-ahead; does not account for the serial
+        PRE/ACT/COL sequence a row-miss needs beyond its first command.
+        """
+        b = self.banks[bank_idx]
+        if b.open_row == row:
+            return self.earliest_col(bank_idx, is_write, now)
+        if b.open_row is None:
+            return self.earliest_act(bank_idx, now)
+        return self.earliest_pre(bank_idx, now)
+
+    # ------------------------------------------------------------------
+    # issue actions (caller must respect the earliest-issue times)
+    # ------------------------------------------------------------------
+    def _consume_cmd_bus(self, now: int) -> None:
+        self.next_cmd_free = now + self.t.tck_ps
+        self.commands_issued += 1
+
+    def issue_act(self, bank_idx: int, row: int, now: int) -> None:
+        b = self.banks[bank_idx]
+        b.do_activate(now, row, self.t)
+        self.last_act_any = now
+        self.act_window.append(now)
+        if len(self.act_window) > 8:
+            del self.act_window[:4]
+        self._consume_cmd_bus(now)
+        if self.log is not None:
+            from repro.dram.commands import CommandKind
+
+            self.log.record(now, CommandKind.ACT, bank_idx, row)
+
+    def issue_pre(self, bank_idx: int, now: int) -> None:
+        self.banks[bank_idx].do_precharge(now, self.t)
+        self._consume_cmd_bus(now)
+        if self.log is not None:
+            from repro.dram.commands import CommandKind
+
+            self.log.record(now, CommandKind.PRE, bank_idx)
+
+    def issue_col(self, bank_idx: int, is_write: bool, now: int) -> int:
+        """Issue RD/WR (one line-sized access); returns data completion time."""
+        b = self.banks[bank_idx]
+        data_end = b.do_column(now, is_write, self.t, self.bursts_per_access)
+        self.last_col_cmd = now
+        self.last_col_group = b.group
+        self.data_bus_free = data_end
+        self.data_bus_busy_ps += self.bursts_per_access * self.t.tburst_ps
+        if is_write:
+            self.last_write_data_end = data_end
+        else:
+            self.last_read_data_end = data_end
+        self._consume_cmd_bus(now)
+        if self.log is not None:
+            from repro.dram.commands import CommandKind
+
+            lead = self.t.twl_ps if is_write else self.t.tcas_ps
+            self.log.record(
+                now,
+                CommandKind.WR if is_write else CommandKind.RD,
+                bank_idx,
+                b.open_row if b.open_row is not None else -1,
+                data_start_ps=now + lead,
+                data_end_ps=data_end,
+            )
+        return data_end
+
+    # ------------------------------------------------------------------
+    # convenience queries for schedulers
+    # ------------------------------------------------------------------
+    def open_row(self, bank_idx: int):
+        return self.banks[bank_idx].open_row
+
+    def is_row_hit(self, bank_idx: int, row: int) -> bool:
+        return self.banks[bank_idx].open_row == row
+
+    def hits_since_act(self, bank_idx: int) -> int:
+        return self.banks[bank_idx].hits_since_act
+
+    def total_activates(self) -> int:
+        return sum(b.acts for b in self.banks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        open_rows = {b.index: b.open_row for b in self.banks if b.open_row is not None}
+        return f"Channel(open={open_rows}, cmd_free={self.next_cmd_free})"

@@ -1,0 +1,39 @@
+"""DRAM command vocabulary.
+
+The command scheduler issues four command kinds to the GDDR5 devices:
+row activate (ACT), precharge (PRE), column read (RD) and column write (WR).
+Refresh is intentionally not modeled — the paper's USIMM configuration and
+the scheduling policies under study are refresh-agnostic, and omitting it
+identically affects every scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+__all__ = ["CommandKind", "DRAMCommand"]
+
+
+class CommandKind(IntEnum):
+    ACT = 0
+    PRE = 1
+    RD = 2
+    WR = 3
+
+
+@dataclass(slots=True)
+class DRAMCommand:
+    """A command issued on the channel's command bus."""
+
+    kind: CommandKind
+    bank: int
+    row: int = -1
+    issue_ps: int = -1
+    # For column commands: when the data burst completes on the data bus.
+    data_end_ps: int = -1
+    req_id: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind.name}(b{self.bank},r{self.row}@{self.issue_ps})"

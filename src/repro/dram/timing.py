@@ -1,0 +1,45 @@
+"""Timing presets for the DRAM model.
+
+``GDDR5_TIMING`` matches Table II of the paper (Hynix H5GQ1H24AFR-class
+part).  ``DDR3_TIMING`` is provided for ablations: it has fewer banks'
+worth of headroom (higher tFAW, no bank-group advantage) and demonstrates
+why the paper's MERB table is technology-specific.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DRAMOrgConfig, DRAMTimingConfig
+
+__all__ = ["GDDR5_TIMING", "DDR3_TIMING", "GDDR5_ORG", "ddr3_org"]
+
+GDDR5_TIMING = DRAMTimingConfig()  # defaults are the paper's Table II values
+
+DDR3_TIMING = DRAMTimingConfig(
+    tck_ns=1.25,  # DDR3-1600
+    trc_ns=48.75,
+    trcd_ns=13.75,
+    trp_ns=13.75,
+    tcas_ns=13.75,
+    tras_ns=35.0,
+    trrd_ns=7.5,
+    twtr_ns=7.5,
+    tfaw_ns=40.0,
+    trtp_ns=7.5,
+    twr_ns=15.0,
+    twl_ck=8,
+    tburst_ck=4,
+    trtrs_ck=2,
+    tccdl_ck=4,  # DDR3 has no bank groups: tCCDL == tCCDS
+    tccds_ck=4,
+)
+
+GDDR5_ORG = DRAMOrgConfig()  # 6 channels, 16 banks, 4 banks/group
+
+
+def ddr3_org(num_channels: int = 6) -> DRAMOrgConfig:
+    """DDR3-style organization: 8 banks, no bank-group distinction."""
+    return DRAMOrgConfig(
+        num_channels=num_channels,
+        banks_per_channel=8,
+        banks_per_group=8,
+    )

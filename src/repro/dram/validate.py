@@ -1,0 +1,194 @@
+"""DRAM protocol auditor.
+
+USIMM-style offline validation: a :class:`CommandLog` records every command
+a channel issues, and :func:`audit_command_log` replays the log against the
+timing parameters, reporting every constraint violation.  The simulator's
+timestamp algebra is designed to make violations impossible; the auditor
+is the independent proof (and the first tool to reach for if a scheduler
+change ever produces suspicious timing).
+
+Checked constraints:
+
+====================  ====================================================
+rule                  meaning
+====================  ====================================================
+CMD_BUS               one command per command clock
+ACT_TO_ACT_SAME       tRC between ACTs to one bank
+ACT_TO_ACT_DIFF       tRRD between ACTs to different banks
+FAW                   at most 4 ACTs in any tFAW window
+ACT_TO_COL            tRCD before a column command
+ACT_TO_PRE            tRAS before precharging
+PRE_TO_ACT            tRP before re-activating
+RD_TO_PRE             tRTP after a read before precharge
+WR_TO_PRE             write recovery (tWR after write data)
+CCD                   tCCDL / tCCDS column spacing by bank group
+DATA_BUS              data bursts never overlap
+WTR                   end of write data to next read command
+ROW_STATE             column commands only to the open row; no double ACT
+====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import DRAMOrgConfig, DRAMTimingConfig
+from repro.dram.commands import CommandKind
+
+__all__ = ["LoggedCommand", "CommandLog", "Violation", "audit_command_log"]
+
+
+@dataclass(slots=True)
+class LoggedCommand:
+    issue_ps: int
+    kind: CommandKind
+    bank: int
+    row: int = -1
+    data_start_ps: int = -1
+    data_end_ps: int = -1
+
+
+class CommandLog:
+    """Append-only record of a channel's command stream."""
+
+    def __init__(self) -> None:
+        self.commands: list[LoggedCommand] = []
+
+    def record(
+        self,
+        issue_ps: int,
+        kind: CommandKind,
+        bank: int,
+        row: int = -1,
+        data_start_ps: int = -1,
+        data_end_ps: int = -1,
+    ) -> None:
+        self.commands.append(
+            LoggedCommand(issue_ps, kind, bank, row, data_start_ps, data_end_ps)
+        )
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+
+@dataclass(slots=True)
+class Violation:
+    rule: str
+    time_ps: int
+    bank: int
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"[{self.rule}] t={self.time_ps}ps bank={self.bank}: {self.detail}"
+
+
+@dataclass
+class _BankState:
+    open_row: Optional[int] = None
+    last_act: int = -(1 << 60)
+    last_rd: int = -(1 << 60)
+    last_wr_data_end: int = -(1 << 60)
+    last_pre: int = -(1 << 60)
+
+
+def audit_command_log(
+    log: CommandLog,
+    timing: DRAMTimingConfig,
+    org: DRAMOrgConfig,
+) -> list[Violation]:
+    """Replay a command log; return every timing/protocol violation."""
+    v: list[Violation] = []
+    banks = [_BankState() for _ in range(org.banks_per_channel)]
+    group_of = [b // org.banks_per_group for b in range(org.banks_per_channel)]
+    last_cmd_time = -(1 << 60)
+    last_act_any = -(1 << 60)
+    act_times: list[int] = []
+    last_col_time = -(1 << 60)
+    last_col_group = -1
+    last_data_end = -(1 << 60)
+    last_wr_data_end_any = -(1 << 60)
+
+    def bad(rule: str, t: int, bank: int, detail: str) -> None:
+        v.append(Violation(rule, t, bank, detail))
+
+    for cmd in log.commands:
+        t = cmd.issue_ps
+        b = banks[cmd.bank]
+
+        if t < last_cmd_time + timing.tck_ps and t != last_cmd_time == -(1 << 60):
+            pass
+        if last_cmd_time > -(1 << 59) and t - last_cmd_time < timing.tck_ps:
+            bad("CMD_BUS", t, cmd.bank, f"{t - last_cmd_time}ps since previous command")
+        last_cmd_time = t
+
+        if cmd.kind == CommandKind.ACT:
+            if b.open_row is not None:
+                bad("ROW_STATE", t, cmd.bank, "ACT with a row already open")
+            if t - b.last_act < timing.trc_ps:
+                bad("ACT_TO_ACT_SAME", t, cmd.bank, f"tRC: {t - b.last_act}ps")
+            if last_act_any > -(1 << 59) and t - last_act_any < timing.trrd_ps:
+                bad("ACT_TO_ACT_DIFF", t, cmd.bank, f"tRRD: {t - last_act_any}ps")
+            if b.last_pre > -(1 << 59) and t - b.last_pre < timing.trp_ps:
+                bad("PRE_TO_ACT", t, cmd.bank, f"tRP: {t - b.last_pre}ps")
+            recent = [x for x in act_times if t - x < timing.tfaw_ps]
+            if len(recent) >= 4:
+                bad("FAW", t, cmd.bank, f"{len(recent) + 1} ACTs in tFAW window")
+            act_times.append(t)
+            if len(act_times) > 16:
+                del act_times[:8]
+            last_act_any = t
+            b.last_act = t
+            b.open_row = cmd.row
+
+        elif cmd.kind == CommandKind.PRE:
+            if b.open_row is None:
+                bad("ROW_STATE", t, cmd.bank, "PRE with no open row")
+            if t - b.last_act < timing.tras_ps:
+                bad("ACT_TO_PRE", t, cmd.bank, f"tRAS: {t - b.last_act}ps")
+            if b.last_rd > -(1 << 59) and t - b.last_rd < timing.trtp_ps:
+                bad("RD_TO_PRE", t, cmd.bank, f"tRTP: {t - b.last_rd}ps")
+            if (
+                b.last_wr_data_end > -(1 << 59)
+                and t - b.last_wr_data_end < timing.twr_ps
+            ):
+                bad("WR_TO_PRE", t, cmd.bank, f"tWR: {t - b.last_wr_data_end}ps")
+            b.last_pre = t
+            b.open_row = None
+
+        else:  # RD / WR
+            if b.open_row is None:
+                bad("ROW_STATE", t, cmd.bank, "column command with bank closed")
+            elif cmd.row >= 0 and cmd.row != b.open_row:
+                bad("ROW_STATE", t, cmd.bank,
+                    f"column to row {cmd.row} but row {b.open_row} open")
+            if t - b.last_act < timing.trcd_ps:
+                bad("ACT_TO_COL", t, cmd.bank, f"tRCD: {t - b.last_act}ps")
+            if last_col_time > -(1 << 59):
+                ccd = (
+                    timing.tccdl_ps
+                    if group_of[cmd.bank] == last_col_group
+                    else timing.tccds_ps
+                )
+                if t - last_col_time < ccd:
+                    bad("CCD", t, cmd.bank, f"{t - last_col_time}ps since last column")
+            if cmd.kind == CommandKind.RD:
+                if (
+                    last_wr_data_end_any > -(1 << 59)
+                    and t - last_wr_data_end_any < timing.twtr_ps
+                ):
+                    bad("WTR", t, cmd.bank,
+                        f"{t - last_wr_data_end_any}ps after write data")
+                b.last_rd = t
+            if cmd.data_start_ps >= 0:
+                if cmd.data_start_ps < last_data_end:
+                    bad("DATA_BUS", t, cmd.bank,
+                        f"burst starts {last_data_end - cmd.data_start_ps}ps early")
+                last_data_end = max(last_data_end, cmd.data_end_ps)
+            if cmd.kind == CommandKind.WR and cmd.data_end_ps >= 0:
+                b.last_wr_data_end = cmd.data_end_ps
+                last_wr_data_end_any = cmd.data_end_ps
+            last_col_time = t
+            last_col_group = group_of[cmd.bank]
+
+    return v

@@ -1,0 +1,139 @@
+"""Whole-GPU wiring: SMs, crossbar, memory partitions, controllers.
+
+``GPUSystem`` assembles every substrate for one simulation run, and
+``simulate`` is the one-call public entry point used by examples and the
+experiment harness::
+
+    from repro import SimConfig, simulate
+    stats = simulate(SimConfig(scheduler="wg-w"), kernel_trace)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import SimConfig
+from repro.core.engine import Engine
+from repro.core.request import MemoryRequest
+from repro.core.stats import SimStats
+from repro.gpu.address_map import AddressMap
+from repro.gpu.coalescer import CoalescerStats
+from repro.gpu.interconnect import Crossbar
+from repro.gpu.partition import MemoryPartition
+from repro.gpu.sm import SMCore
+from repro.gpu.warp import WarpState
+from repro.mc.coordination import CoordinationNetwork
+from repro.mc.registry import controller_class, coordinated_schedulers
+from repro.workloads.trace import KernelTrace
+
+__all__ = ["GPUSystem", "simulate"]
+
+
+class GPUSystem:
+    """A fully wired GPU + memory system executing one kernel trace."""
+
+    def __init__(self, config: SimConfig, kernel: KernelTrace) -> None:
+        self.config = config
+        self.kernel = kernel
+        self.engine = Engine()
+        self.amap = AddressMap(config.dram_org)
+        self.stats = SimStats(config.dram_org.num_channels)
+        self.coal_stats = CoalescerStats()
+        num_parts = config.dram_org.num_channels
+
+        self.xbar = Crossbar(
+            self.engine, config.gpu, num_parts, config.dram_org.line_bytes
+        )
+
+        self.partitions = [
+            MemoryPartition(
+                self.engine, p, config, self.amap, self._reply, self.stats
+            )
+            for p in range(num_parts)
+        ]
+
+        mc_cls = controller_class(config.scheduler)
+        self.mcs = []
+        for ch in range(num_parts):
+            mc = mc_cls(
+                self.engine,
+                ch,
+                config,
+                self.stats.channels[ch],
+                deliver_read=self.partitions[ch].on_dram_data,
+            )
+            self.partitions[ch].mc = mc
+            self.mcs.append(mc)
+
+        self.network: Optional[CoordinationNetwork] = None
+        if config.scheduler in coordinated_schedulers():
+            self.network = CoordinationNetwork(self.engine)
+            for mc in self.mcs:
+                mc.attach_network(self.network)
+
+        buckets = kernel.by_sm(config.gpu.num_sms)
+        self.sms = [
+            SMCore(
+                self.engine,
+                sm_id,
+                config,
+                buckets[sm_id],
+                send_request=self._send_request,
+                group_complete_cb=self._group_complete,
+                on_warp_done=self._warp_done,
+                sim_stats=self.stats,
+                coal_stats=self.coal_stats,
+            )
+            for sm_id in range(config.gpu.num_sms)
+        ]
+        self.total_warps = len(kernel.warps)
+        self.warps_done = 0
+        self._t_last_warp = 0
+
+    # ------------------------------------------------------------------
+    # routing callbacks
+    # ------------------------------------------------------------------
+    def _send_request(self, req: MemoryRequest) -> None:
+        self.amap.route(req)
+        if req.transaction is not None:
+            req.transaction.note_dispatched(req.channel)
+        part = self.partitions[req.channel]
+        self.xbar.to_partition(req.channel, lambda: part.receive(req))
+
+    def _reply(self, req: MemoryRequest) -> None:
+        sm = self.sms[req.sm_id]
+        self.xbar.to_sm(req.sm_id, lambda: sm.receive_reply(req))
+
+    def _group_complete(self, channel: int, key: tuple[int, int], expected: int) -> None:
+        # The tag travels with the group's last request, which is already
+        # at the controller when this fires (see LoadTransaction).
+        self.mcs[channel].receive_group_complete(key, expected)
+
+    def _warp_done(self, warp: WarpState) -> None:
+        self.warps_done += 1
+        self._t_last_warp = self.engine.now
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, max_events: Optional[int] = None) -> SimStats:
+        """Execute the kernel to completion and return the statistics."""
+        for sm in self.sms:
+            sm.start()
+        self.engine.run(max_events=max_events)
+        if self.warps_done != self.total_warps:
+            raise RuntimeError(
+                f"simulation stalled: {self.warps_done}/{self.total_warps} "
+                f"warps finished, {self.engine.events_processed} events"
+            )
+        self.stats.elapsed_ps = self._t_last_warp
+        for mc in self.mcs:
+            mc.sync_stats()
+        return self.stats
+
+
+def simulate(
+    config: SimConfig, kernel: KernelTrace, max_events: Optional[int] = None
+) -> SimStats:
+    """Build a :class:`GPUSystem` for ``kernel`` and run it to completion."""
+    return GPUSystem(config, kernel).run(max_events=max_events)

@@ -1,0 +1,53 @@
+"""Runtime state of a warp executing on an SM."""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+from repro.workloads.trace import Segment, WarpTrace
+
+__all__ = ["WarpState", "WarpStatus"]
+
+
+class WarpStatus(Enum):
+    PENDING = auto()  # assigned to the SM, not yet resident
+    READY = auto()  # resident, executing or awaiting the issue stage
+    BLOCKED = auto()  # stalled on an outstanding vector load
+    DONE = auto()
+
+
+class WarpState:
+    """A warp's execution cursor (SIMT: all 32 lanes move together)."""
+
+    __slots__ = ("trace", "pc", "status", "loads_completed", "t_finished")
+
+    def __init__(self, trace: WarpTrace) -> None:
+        self.trace = trace
+        self.pc = 0
+        self.status = WarpStatus.PENDING
+        self.loads_completed = 0
+        self.t_finished = -1
+
+    @property
+    def sm_id(self) -> int:
+        return self.trace.sm_id
+
+    @property
+    def warp_id(self) -> int:
+        return self.trace.warp_id
+
+    def current_segment(self) -> Segment:
+        return self.trace.segments[self.pc]
+
+    def advance(self) -> None:
+        self.pc += 1
+
+    @property
+    def finished(self) -> bool:
+        return self.pc >= len(self.trace.segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Warp(sm{self.sm_id}, w{self.warp_id}, pc={self.pc}/"
+            f"{len(self.trace.segments)}, {self.status.name})"
+        )

@@ -1,0 +1,112 @@
+"""Per-bank command queues (Fig. 1, box 5).
+
+The transaction scheduler deposits *requests* here; the command scheduler
+walks the queue heads and emits the actual PRE/ACT/RD/WR command sequences
+in strict queue order per bank (the paper's command scheduler never reorders
+within a bank so as not to disturb transaction-scheduler decisions).
+
+The queues also maintain the bookkeeping the warp-aware policies need:
+
+* ``last_sched_row``   — row address of the last request scheduled to each
+  bank; the WG score predicts hit/miss against it (§IV-B);
+* ``queue_score``      — sum of the scores of requests pending per bank,
+  the "queuing latency score" of §IV-B;
+* ``hits_since_row_change`` — planning-time analog of the per-bank 5-bit
+  MERB counter of §IV-D (row-hit requests scheduled since the last
+  scheduled row change).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.config import DRAMOrgConfig
+from repro.core.request import MemoryRequest
+
+__all__ = ["QueuedRequest", "CommandQueues", "SCORE_HIT", "SCORE_MISS"]
+
+SCORE_HIT = 1  # tCAS ~ 12 ns
+SCORE_MISS = 3  # tRP + tRCD + tCAS ~ 36 ns
+
+
+class QueuedRequest:
+    """A request plus its command-generation state inside a bank queue."""
+
+    __slots__ = ("req", "score", "needed_act", "insert_ps")
+
+    def __init__(self, req: MemoryRequest, score: int, insert_ps: int) -> None:
+        self.req = req
+        self.score = score
+        self.needed_act = False
+        self.insert_ps = insert_ps
+
+
+class CommandQueues:
+    """All per-bank command queues of one controller."""
+
+    def __init__(self, org: DRAMOrgConfig, depth: int) -> None:
+        n = org.banks_per_channel
+        self.org = org
+        self.depth = depth
+        self.queues: list[deque[QueuedRequest]] = [deque() for _ in range(n)]
+        self.queue_score = [0] * n
+        self.last_sched_row: list[Optional[int]] = [None] * n
+        self.hits_since_row_change = [0] * n
+
+    # -- scoring helpers ------------------------------------------------------
+    def predicted_hit(self, bank: int, row: int) -> bool:
+        """Would a request to (bank,row) be a row hit when it drains?"""
+        return self.last_sched_row[bank] == row
+
+    def request_score(self, bank: int, row: int) -> int:
+        return SCORE_HIT if self.predicted_hit(bank, row) else SCORE_MISS
+
+    # -- occupancy -------------------------------------------------------------
+    def space(self, bank: int) -> int:
+        return max(0, self.depth - len(self.queues[bank]))
+
+    def occupancy(self, bank: int) -> int:
+        return len(self.queues[bank])
+
+    def total_occupancy(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def busy_banks(self) -> int:
+        """Number of banks with pending work (MERB table index)."""
+        return sum(1 for q in self.queues if q)
+
+    def empty(self) -> bool:
+        return all(not q for q in self.queues)
+
+    def pending_reads(self) -> int:
+        return sum(1 for q in self.queues for e in q if not e.req.is_write)
+
+    # -- mutation ----------------------------------------------------------------
+    def insert(self, req: MemoryRequest, now_ps: int) -> QueuedRequest:
+        """Append a request to its bank queue; returns the queue entry."""
+        bank = req.bank
+        score = self.request_score(bank, req.row)
+        entry = QueuedRequest(req, score, now_ps)
+        self.queues[bank].append(entry)
+        self.queue_score[bank] += score
+        if score == SCORE_HIT:
+            # The MERB counter counts row-hit *bursts* (§IV-D).
+            self.hits_since_row_change[bank] = min(
+                31, self.hits_since_row_change[bank] + self.org.bursts_per_access
+            )
+        else:
+            self.hits_since_row_change[bank] = 0
+        self.last_sched_row[bank] = req.row
+        req.t_scheduled = now_ps
+        return entry
+
+    def pop(self, bank: int) -> QueuedRequest:
+        """Remove the head entry after its column command issued."""
+        entry = self.queues[bank].popleft()
+        self.queue_score[bank] -= entry.score
+        return entry
+
+    def head(self, bank: int) -> Optional[QueuedRequest]:
+        q = self.queues[bank]
+        return q[0] if q else None

@@ -1,0 +1,67 @@
+r"""Minimum Efficient Row Burst (MERB) computation (§IV-D, Table I).
+
+MERB(b) is the number of row-hit data transfers a bank must supply per
+activate so that the overheads of a row-miss in that bank are hidden by
+data transfers in the other ``b-1`` busy banks:
+
+             /     tRTP + tRP + tRCD      max(tRRD, tFAW/4) \
+  MERB(b) = max( ---------------------- , ------------------ )   for b > 1
+             \     (b-1) * tBURST             tBURST         /
+
+  MERB(1) = 31  (a 5-bit counter's limit: with a single busy bank nothing
+                 can hide the row cycle, so hits are streamed until the
+                 counter saturates, giving ~62% utilization on GDDR5)
+
+The table depends only on DRAM timing, so real hardware would compute it
+at boot or load it from ROM; we compute it once per timing config.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from repro.core.config import DRAMTimingConfig
+
+__all__ = ["merb_value", "merb_table", "single_bank_utilization"]
+
+MERB_COUNTER_MAX = 31  # 5-bit per-bank counter
+
+
+def merb_value(busy_banks: int, timing: DRAMTimingConfig) -> int:
+    """MERB for a given number of banks with pending work (>= 1)."""
+    if busy_banks < 1:
+        raise ValueError("busy_banks must be >= 1")
+    if busy_banks == 1:
+        return MERB_COUNTER_MAX
+    tburst = timing.tburst_ck * timing.tck_ns
+    row_cycle = timing.trtp_ns + timing.trp_ns + timing.trcd_ns
+    act_gap = max(timing.trrd_ns, timing.tfaw_ns / 4.0)
+    hide_row_cycle = row_cycle / ((busy_banks - 1) * tburst)
+    hide_act_gap = act_gap / tburst
+    value = math.ceil(round(max(hide_row_cycle, hide_act_gap), 9))
+    return max(1, min(MERB_COUNTER_MAX, value))
+
+
+@lru_cache(maxsize=None)
+def merb_table(timing: DRAMTimingConfig, max_banks: int = 16) -> tuple[int, ...]:
+    """MERB values indexed by busy-bank count; index 0 is unused (=MERB(1))."""
+    values = [merb_value(1, timing)]
+    values.extend(merb_value(b, timing) for b in range(1, max_banks + 1))
+    return tuple(values)
+
+
+def single_bank_utilization(hits_per_activate: int, timing: DRAMTimingConfig) -> float:
+    """Bus utilization streaming ``n`` hits per activate to one bank (§IV-D).
+
+    utilization = tBURST*n / (tRCD + tBURST*n + (tRTP - tBURST + tCK) + tRP)
+
+    valid when the streak is long enough that tRAS is already satisfied.
+    """
+    if hits_per_activate < 1:
+        raise ValueError("need at least one access per activate")
+    n = hits_per_activate
+    tburst = timing.tburst_ck * timing.tck_ns
+    transfer = tburst * n
+    overhead = timing.trcd_ns + (timing.trtp_ns - tburst + timing.tck_ns) + timing.trp_ns
+    return transfer / (transfer + overhead)

@@ -1,0 +1,85 @@
+"""Baseline row sorter (Fig. 1, box 3).
+
+Incoming reads are sorted by (bank, row); requests to the same row merge
+into a FIFO *stream* of row hits the transaction scheduler can service
+back-to-back.  Per-row FIFOs preserve arrival order, which the age-based
+starvation guard relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.request import MemoryRequest
+
+__all__ = ["RowSorter"]
+
+
+class RowSorter:
+    """Per-bank, per-row pending-read index."""
+
+    def __init__(self, num_banks: int) -> None:
+        self.num_banks = num_banks
+        # banks[b] maps row -> deque of requests in arrival order.
+        self.banks: list[dict[int, deque[MemoryRequest]]] = [
+            {} for _ in range(num_banks)
+        ]
+        self._count = 0
+
+    def add(self, req: MemoryRequest) -> None:
+        rows = self.banks[req.bank]
+        stream = rows.get(req.row)
+        if stream is None:
+            rows[req.row] = deque((req,))
+        else:
+            stream.append(req)
+        self._count += 1
+
+    def pop(self, bank: int, row: int) -> MemoryRequest:
+        rows = self.banks[bank]
+        stream = rows[row]
+        req = stream.popleft()
+        if not stream:
+            del rows[row]
+        self._count -= 1
+        return req
+
+    def remove(self, req: MemoryRequest) -> None:
+        """Remove a specific request (possibly mid-FIFO)."""
+        rows = self.banks[req.bank]
+        stream = rows[req.row]
+        stream.remove(req)
+        if not stream:
+            del rows[req.row]
+        self._count -= 1
+
+    def rows_for(self, bank: int) -> dict[int, deque[MemoryRequest]]:
+        return self.banks[bank]
+
+    def has_row(self, bank: int, row: int) -> bool:
+        return row in self.banks[bank]
+
+    def oldest_in_bank(
+        self, bank: int, exclude_row: Optional[int] = None
+    ) -> Optional[MemoryRequest]:
+        """Oldest pending request to a bank (front of some row FIFO),
+        optionally ignoring one row (the stream currently being serviced)."""
+        best: Optional[MemoryRequest] = None
+        for row, stream in self.banks[bank].items():
+            if row == exclude_row:
+                continue
+            head = stream[0]
+            if best is None or head.t_mc_arrival < best.t_mc_arrival:
+                best = head
+        return best
+
+    def stream_len(self, bank: int, row: int) -> int:
+        stream = self.banks[bank].get(row)
+        return len(stream) if stream else 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def empty(self) -> bool:
+        return self._count == 0

@@ -1,0 +1,189 @@
+"""Warp sorter and bank table (Fig. 6, §IV-B).
+
+The warp sorter replaces the baseline's row sorter: pending reads are
+grouped by ``(SM-id, warp-id)`` into *warp-groups*.  A group becomes
+eligible for scheduling only once the controller has admitted every
+request of the group: the last-request tag of the paper is realized as an
+expected-count announcement (see ``LoadTransaction``), so a group is
+*complete* when ``received == expected`` — robust against read-queue
+backpressure delaying individual requests.
+
+The bank-table scoring of §IV-B is implemented by :meth:`WarpSorter.score`:
+
+* each request scores 1 if it is predicted to hit the row its bank's
+  command queue will leave open, 3 if it needs a row cycle
+  (tRP+tRCD+tCAS ≈ 3 × tCAS);
+* per bank, the group's requests' scores are added to the *queuing score*
+  — the summed scores of everything already sitting in that bank's
+  command queue;
+* the group's score is the maximum over its banks, i.e. the estimated
+  drain time of its slowest bank;
+* WG-M coordination messages subtract a one-time discount (§IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.request import MemoryRequest
+from repro.mc.command_queue import SCORE_HIT, SCORE_MISS, CommandQueues
+
+__all__ = ["WarpGroupEntry", "WarpSorter"]
+
+
+class WarpGroupEntry:
+    """Pending requests of one warp at one controller."""
+
+    __slots__ = (
+        "key",
+        "by_bank",
+        "n_requests",
+        "received",
+        "expected",
+        "arrival_ps",
+        "completed_ps",
+        "score_discount",
+        "remote_score",
+    )
+
+    def __init__(self, key: tuple[int, int], arrival_ps: int) -> None:
+        self.key = key
+        self.by_bank: dict[int, list[MemoryRequest]] = {}
+        self.n_requests = 0  # pending (not yet scheduled) requests
+        self.received = 0  # total requests admitted so far
+        self.expected: Optional[int] = None  # announced group size
+        self.arrival_ps = arrival_ps
+        self.completed_ps = -1  # instant the group became schedulable
+        self.score_discount = 0  # accumulated WG-M priority boost
+        self.remote_score: Optional[int] = None  # best peer completion score
+
+    @property
+    def complete(self) -> bool:
+        return self.expected is not None and self.received >= self.expected
+
+    def add(self, req: MemoryRequest) -> None:
+        self.by_bank.setdefault(req.bank, []).append(req)
+        self.n_requests += 1
+        self.received += 1
+
+    def remove(self, req: MemoryRequest) -> None:
+        reqs = self.by_bank[req.bank]
+        reqs.remove(req)
+        if not reqs:
+            del self.by_bank[req.bank]
+        self.n_requests -= 1
+
+    def requests(self) -> Iterable[MemoryRequest]:
+        for reqs in self.by_bank.values():
+            yield from reqs
+
+    @property
+    def empty(self) -> bool:
+        return self.n_requests == 0
+
+
+class WarpSorter:
+    """All warp-group entries of one controller, with scoring."""
+
+    def __init__(self) -> None:
+        self.groups: dict[tuple[int, int], WarpGroupEntry] = {}
+        # Expected counts that arrived before any of the group's requests.
+        self._early_expected: dict[tuple[int, int], int] = {}
+        # (bank, row) -> pending requests in arrival order; lets WG-Bw find
+        # row-hit filler requests across groups in O(1).
+        self.row_index: dict[tuple[int, int], list[MemoryRequest]] = {}
+        self._count = 0
+
+    # -- membership ------------------------------------------------------------
+    def add(self, req: MemoryRequest, now_ps: int) -> WarpGroupEntry:
+        key = req.warp
+        entry = self.groups.get(key)
+        if entry is None:
+            entry = WarpGroupEntry(key, now_ps)
+            self.groups[key] = entry
+            early = self._early_expected.pop(key, None)
+            if early is not None:
+                entry.expected = early
+        entry.add(req)
+        if req.transaction is None:
+            # Raw request streams (tests/microbenches) have no SM-side load
+            # transaction: the group is always schedulable as-is.
+            entry.expected = entry.received
+        if entry.complete and entry.completed_ps < 0:
+            entry.completed_ps = now_ps
+        self.row_index.setdefault((req.bank, req.row), []).append(req)
+        self._count += 1
+        return entry
+
+    def mark_complete(self, key: tuple[int, int], expected: int, now_ps: int) -> None:
+        """The group's size announcement (the paper's last-request tag)."""
+        entry = self.groups.get(key)
+        if entry is None:
+            self._early_expected[key] = expected
+            return
+        entry.expected = expected
+        if entry.complete and entry.completed_ps < 0:
+            entry.completed_ps = now_ps
+        if entry.empty and entry.complete:
+            # All requests were already pulled (e.g. as MERB fillers).
+            del self.groups[key]
+
+    def remove_request(self, req: MemoryRequest) -> None:
+        entry = self.groups.get(req.warp)
+        if entry is None:
+            raise KeyError(f"no group for {req}")
+        entry.remove(req)
+        pending = self.row_index[(req.bank, req.row)]
+        pending.remove(req)
+        if not pending:
+            del self.row_index[(req.bank, req.row)]
+        self._count -= 1
+        if entry.empty and entry.complete:
+            del self.groups[req.warp]
+
+    def complete_groups(self) -> Iterable[WarpGroupEntry]:
+        return (e for e in self.groups.values() if e.complete and not e.empty)
+
+    def get(self, key: tuple[int, int]) -> Optional[WarpGroupEntry]:
+        return self.groups.get(key)
+
+    def pending_hits(self, bank: int, row: int) -> list[MemoryRequest]:
+        """Pending requests to (bank, row) in arrival order (may be empty)."""
+        return self.row_index.get((bank, row), [])
+
+    def empty(self) -> bool:
+        return self._count == 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- scoring (§IV-B) ----------------------------------------------------------
+    @staticmethod
+    def score(entry: WarpGroupEntry, cq: CommandQueues) -> tuple[int, int]:
+        """(group score, row hits) of a warp-group against the bank table.
+
+        The per-bank walk threads the predicted open row through the
+        group's own requests, so four same-row requests behind a foreign
+        row cost 3+1+1+1, not 3+3+3+3.
+        """
+        worst = 0
+        hits = 0
+        for bank, reqs in entry.by_bank.items():
+            predicted = cq.last_sched_row[bank]
+            bank_score = cq.queue_score[bank]
+            for req in reqs:
+                if req.row == predicted:
+                    bank_score += SCORE_HIT
+                    hits += 1
+                else:
+                    bank_score += SCORE_MISS
+                predicted = req.row
+            if bank_score > worst:
+                worst = bank_score
+        score = max(0, worst - entry.score_discount)
+        if entry.remote_score is not None and entry.remote_score < score:
+            # §IV-C: a peer already started servicing this warp; the local
+            # score is lowered by (LC - RC), i.e. clamped to the remote
+            # completion score, so the laggard group jumps the queue.
+            score = max(0, entry.remote_score)
+        return score, hits

@@ -1,0 +1,129 @@
+"""WG: per-controller warp-group scheduling (§IV-B).
+
+A bank-aware shortest-job-first (BASJF) arbiter over *complete*
+warp-groups.  Each pump, the transaction scheduler:
+
+1. scores every complete warp-group against the bank table (array score
+   1/3 per request + queuing score of the target command queues; group
+   score = max over its banks — the drain time of its slowest bank);
+2. ranks groups by score (shortest job first); ties go to the group with
+   more row hits (lower DRAM power), then to the oldest;
+3. pulls the best-ranked group whose target command queues have room, the
+   *entire* group at once, so its requests drain together — and repeats
+   until queues fill or no group is eligible.
+
+Two hygiene rules keep SJF safe in a real controller:
+
+* groups older than the controller's age threshold rank ahead of
+  everything (pure SJF would starve large groups indefinitely);
+* if the read queue is full and *no* group is complete (their stragglers
+  are stuck behind the queue's own backpressure), the oldest group is
+  serviced partially — the deadlock-free equivalent of the sorter
+  spilling under pressure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.request import MemoryRequest
+from repro.mc.base import MemoryController
+from repro.mc.warp_sorter import WarpGroupEntry, WarpSorter
+
+__all__ = ["WGController"]
+
+
+class WGController(MemoryController):
+    name = "wg"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.sorter = WarpSorter()
+
+    # -- base hooks -----------------------------------------------------------
+    def _accept_read(self, req: MemoryRequest) -> None:
+        self.sorter.add(req, self.engine.now)
+
+    def _sorter_empty(self) -> bool:
+        return self.sorter.empty()
+
+    def _mark_group_complete(self, key: tuple[int, int], expected: int) -> None:
+        self.sorter.mark_complete(key, expected, self.engine.now)
+
+    # -- transaction scheduling ---------------------------------------------------
+    def _schedule_reads(self, now: int) -> None:
+        while True:
+            picked = self._pick_with_room(now)
+            if picked is None:
+                self._pressure_fallback(now)
+                return
+            entry, score = picked
+            self._on_group_selected(entry, score, now)
+            self._insert_group(entry, now)
+
+    def _rank_key(self, entry: WarpGroupEntry, score: int, now: int):
+        """Sort key: over-age groups first, then BASJF with tie-breaks."""
+        overage = 0 if now - entry.arrival_ps > self.age_threshold_ps else 1
+        _, hits = WarpSorter.score(entry, self.cq)
+        return (overage, score, -hits, entry.arrival_ps, entry.key)
+
+    def _ranked_groups(self, now: int) -> list[tuple[WarpGroupEntry, int]]:
+        scored = [
+            (e, WarpSorter.score(e, self.cq)[0]) for e in self.sorter.complete_groups()
+        ]
+        scored.sort(key=lambda es: self._rank_key(es[0], es[1], now))
+        return scored
+
+    def _pick_with_room(self, now: int) -> Optional[tuple[WarpGroupEntry, int]]:
+        """Best-ranked complete group whose command queues have room.
+
+        Skipping blocked groups avoids head-of-line idling: a full bank
+        must not keep other banks' work waiting in the sorter.
+        """
+        for entry, score in self._ranked_groups(now):
+            if self._room_for(entry):
+                return entry, score
+        return None
+
+    def _room_for(self, entry: WarpGroupEntry) -> bool:
+        """Require nominal space in every bank queue the group touches."""
+        return all(self.cq.space(b) > 0 for b in entry.by_bank)
+
+    def _pressure_fallback(self, now: int) -> None:
+        """Escape hatch for the full-queue / no-complete-group deadlock."""
+        if self._reads_pending < self.mc.read_queue_entries and not self._read_overflow:
+            return
+        while True:
+            best = None
+            for entry in self.sorter.groups.values():
+                if entry.empty or entry.complete:
+                    continue
+                if best is None or entry.arrival_ps < best.arrival_ps:
+                    best = entry
+            if best is None or not self._room_for(best):
+                return
+            self._insert_group(best, now)
+
+    def _on_group_selected(self, entry: WarpGroupEntry, score: int, now: int) -> None:
+        """Hook: WG-M broadcasts the selection to peer controllers here."""
+
+    def _insert_group(self, entry: WarpGroupEntry, now: int) -> None:
+        # Snapshot: the WG-Bw MERB gate may pull some of this group's own
+        # row-hit requests as fillers while we iterate.
+        plan = [
+            (bank, sorted(reqs, key=lambda r: (r.row, r.t_mc_arrival, r.req_id)))
+            for bank, reqs in sorted(entry.by_bank.items())
+        ]
+        for bank, reqs in plan:
+            for req in reqs:
+                if req.t_scheduled >= 0:
+                    continue  # already scheduled as a MERB filler
+                self._insert_request(req, now)
+
+    def _insert_request(self, req: MemoryRequest, now: int) -> None:
+        """Move one request from the warp sorter into its command queue.
+
+        WG-Bw overrides this to run the MERB row-miss gate first.
+        """
+        self.sorter.remove_request(req)
+        self.cq.insert(req, now)

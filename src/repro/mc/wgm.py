@@ -1,0 +1,50 @@
+"""WG-M: warp-group scheduling coordinated across controllers (§IV-C).
+
+On selecting a warp-group, a controller broadcasts (SM id, warp id, local
+completion score).  A receiving controller that also holds requests of
+that warp compares the remote score RC against its own local score LC for
+the group; if LC > RC — i.e. this controller would finish the warp later
+than the channel that already started it — the local score is decreased by
+(LC − RC), promoting the laggard group so the warp's requests complete in
+close succession across channels.
+"""
+
+from __future__ import annotations
+
+from repro.mc.coordination import CoordinationNetwork
+from repro.mc.warp_sorter import WarpGroupEntry, WarpSorter
+from repro.mc.wg import WGController
+
+__all__ = ["WGMController"]
+
+
+class WGMController(WGController):
+    name = "wg-m"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.network: CoordinationNetwork | None = None
+
+    def attach_network(self, network: CoordinationNetwork) -> None:
+        self.network = network
+        network.attach(self)
+
+    # -- outbound ---------------------------------------------------------------
+    def _on_group_selected(self, entry: WarpGroupEntry, score: int, now: int) -> None:
+        if self.network is not None:
+            self.stats.coordination_msgs_sent += 1
+            self.network.broadcast(self.channel_id, entry.key, score)
+
+    # -- inbound -----------------------------------------------------------------
+    def receive_coordination(self, key: tuple[int, int], remote_score: int) -> None:
+        entry = self.sorter.get(key)
+        if entry is None:
+            return
+        # Record the peer's completion score; the ranking clamps the local
+        # score to it (the §IV-C "decrease by LC - RC") from the moment
+        # the group is selectable, even if its last requests are still
+        # working through the read-queue backpressure.
+        if entry.remote_score is None or remote_score < entry.remote_score:
+            entry.remote_score = remote_score
+            self.stats.coordination_msgs_applied += 1
+            self._kick()

@@ -1,0 +1,49 @@
+"""WG-Share: sharing-aware warp-group priority (the paper's future work).
+
+The conclusion of the paper proposes going beyond WG-W by "prioritizing
+warp-groups that contain blocks of data that are shared by multiple
+warps".  The rationale: servicing a group whose rows other pending groups
+also reference converts those groups' upcoming accesses into row hits —
+one scheduling decision shortens several warps.
+
+Realization on top of WG-W: when ranking complete groups, a group earns a
+bonus proportional to how many *other* warps have pending requests on the
+rows it is about to open (the warp sorter's (bank, row) index makes this
+an O(requests) lookup).  The bonus is bounded so shortest-job-first
+remains the primary order — sharing breaks ties and promotes near-ties.
+"""
+
+from __future__ import annotations
+
+from repro.mc.warp_sorter import WarpGroupEntry
+from repro.mc.wgw import WGWController
+
+__all__ = ["WGShareController"]
+
+MAX_SHARING_BONUS = 3  # one row-miss worth of score
+
+
+class WGShareController(WGWController):
+    name = "wg-share"
+
+    def _sharing_bonus(self, entry: WarpGroupEntry) -> int:
+        """How many other warps' pending requests hit this group's rows."""
+        sharers = 0
+        seen_rows = set()
+        for bank, reqs in entry.by_bank.items():
+            for req in reqs:
+                key = (bank, req.row)
+                if key in seen_rows:
+                    continue
+                seen_rows.add(key)
+                for other in self.sorter.pending_hits(bank, req.row):
+                    if other.warp != entry.key:
+                        sharers += 1
+        return min(MAX_SHARING_BONUS, sharers)
+
+    def _rank_key(self, entry: WarpGroupEntry, score: int, now: int):
+        base = super()._rank_key(entry, score, now)
+        if base[0] != 1:
+            return base  # promoted (WG-W unit group) or over-age: keep
+        adjusted = max(0, score - self._sharing_bonus(entry))
+        return (base[0], adjusted, *base[2:])

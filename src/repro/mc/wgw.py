@@ -1,0 +1,35 @@
+"""WG-W: warp-aware write draining (§IV-E).
+
+Write drains stall the read stream for long stretches; a warp that needed
+just one more request before its group completed can be stalled for an
+entire drain.  WG-W watches the write-queue occupancy and, once it is
+within ``wgw_drain_guard_entries`` (8) of the high watermark, ranks
+unit-size warp-groups ahead of everything — regardless of their score —
+so they slip in before the bus turns around.
+"""
+
+from __future__ import annotations
+
+from repro.mc.warp_sorter import WarpGroupEntry
+from repro.mc.wgbw import WGBwController
+
+__all__ = ["WGWController"]
+
+
+class WGWController(WGBwController):
+    name = "wg-w"
+
+    def _near_drain(self) -> bool:
+        guard = self.mc.write_high_watermark - self.mc.wgw_drain_guard_entries
+        return len(self.write_queue) >= guard
+
+    def _rank_key(self, entry: WarpGroupEntry, score: int, now: int):
+        base = super()._rank_key(entry, score, now)
+        if self._near_drain() and entry.n_requests == 1:
+            return (-1, *base[1:])  # ahead of every non-promoted group
+        return base
+
+    def _on_group_selected(self, entry: WarpGroupEntry, score: int, now: int) -> None:
+        if self._near_drain() and entry.n_requests == 1:
+            self.stats.wgw_promotions += 1
+        super()._on_group_selected(entry, score, now)

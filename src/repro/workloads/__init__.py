@@ -1,0 +1,5 @@
+"""Workload generation: trace containers, synthetic profiles, algorithmic kernels."""
+
+from repro.workloads.trace import KernelTrace, MemOp, Segment, WarpTrace
+
+__all__ = ["KernelTrace", "MemOp", "Segment", "WarpTrace"]

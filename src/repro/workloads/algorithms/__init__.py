@@ -1,0 +1,35 @@
+"""Algorithmic workload generators (run the real algorithm, emit its trace)."""
+
+from repro.workloads.algorithms.graphs import (
+    bfs_trace,
+    bh_trace,
+    random_csr,
+    sp_trace,
+    sssp_trace,
+)
+from repro.workloads.algorithms.mapreduce import pvc_trace, ss_trace
+from repro.workloads.algorithms.media import nw_trace, sad_trace
+from repro.workloads.algorithms.regular import (
+    index_scan_trace,
+    stencil_trace,
+    stream_trace,
+)
+from repro.workloads.algorithms.sparse import cfd_trace, kmeans_trace, spmv_trace
+
+__all__ = [
+    "bfs_trace",
+    "bh_trace",
+    "cfd_trace",
+    "index_scan_trace",
+    "kmeans_trace",
+    "nw_trace",
+    "pvc_trace",
+    "random_csr",
+    "sad_trace",
+    "sp_trace",
+    "spmv_trace",
+    "ss_trace",
+    "sssp_trace",
+    "stencil_trace",
+    "stream_trace",
+]

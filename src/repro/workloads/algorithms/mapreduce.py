@@ -1,0 +1,117 @@
+"""MARS MapReduce workloads: PVC (PageViewCount) and SS (SimilarityScore).
+
+PVC maps web-log records to hash-table buckets: streaming record reads
+followed by hash-random bucket probes and chained-entry walks, with
+scattered counter updates — high divergence *and* high write traffic.
+
+SS computes pairwise document similarity: gathers of two feature vectors
+at data-dependent document ids, then scattered score writes; the paper's
+write-drain mechanism (WG-W) profits from exactly this store pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SimConfig
+from repro.workloads.builder import Layout, TraceBuilder
+from repro.workloads.trace import KernelTrace
+
+__all__ = ["pvc_trace", "ss_trace"]
+
+
+def pvc_trace(
+    config: SimConfig,
+    n_records: int = 200_000,
+    n_buckets: int = 1 << 16,
+    seed: int = 37,
+    chain_steps: int = 1,
+    max_warps: int = 1300,
+) -> KernelTrace:
+    """MARS PageViewCount: hash-table accumulation over log records."""
+    rng = np.random.default_rng(seed)
+    lay = Layout()
+    a_records = lay.alloc("records", n_records * 4)  # 16B log entries
+    a_buckets = lay.alloc("buckets", n_buckets)
+    a_entries = lay.alloc("entries", n_buckets * 2)
+    a_counts = lay.alloc("counts", n_buckets)
+
+    # Zipf-ish URL popularity: a few hot buckets, a long tail.
+    urls = rng.zipf(1.5, size=n_records) % n_buckets
+
+    tb = TraceBuilder("PVC", config.gpu.num_sms, config.gpu.warp_size)
+    warps_emitted = 0
+    for base in range(0, n_records, 32):
+        if warps_emitted >= max_warps:
+            break
+        recs = np.arange(base, min(base + 32, n_records))
+        wb = tb.new_warp()
+        warps_emitted += 1
+        # map phase: streaming record parse (coalesced, 4 lines)
+        wb.compute(6).load_gather(a_records, (recs * 4).tolist())
+        b = urls[recs]
+        # bucket head probe: hash-random gather
+        wb.compute(4).load_gather(a_buckets, b.tolist())
+        cur = b.copy()
+        for _ in range(chain_steps):
+            cur = (cur * 2654435761 + 12345) % n_buckets
+            wb.compute(2).load_gather(a_entries, (cur * 2).tolist())
+        # reduce: scattered counter updates
+        wb.compute(3).store_gather(a_counts, b.tolist())
+        wb.store_gather(a_entries, (cur * 2 + 1).tolist())
+    return tb.build()
+
+
+def ss_trace(
+    config: SimConfig,
+    n_docs: int = 60_000,
+    vec_len: int = 16,
+    n_pairs: int = 200_000,
+    seed: int = 41,
+    max_warps: int = 1200,
+    window: int = 256,
+) -> KernelTrace:
+    """MARS SimilarityScore: pairwise doc-vector dot products.
+
+    Vectors are stored feature-major (MARS's column layout), so a warp's
+    gathers for one feature land within a doc-id window — divergent but
+    clustered, matching the measured ~5 requests per load.
+    """
+    rng = np.random.default_rng(seed)
+    lay = Layout()
+    a_vecs = lay.alloc("doc_vectors", n_docs * vec_len)
+    a_pairs = lay.alloc("pairs", n_pairs * 2)
+    a_scores = lay.alloc("scores", n_pairs)
+
+    # Pair lists come from bucketed candidate generation: a *block* of
+    # consecutive pairs shares a home document, so one warp's gathers
+    # cluster in a doc-id window (divergent but not uniformly random).
+    n_blocks = (n_pairs + 31) // 32
+    block_home = rng.integers(0, n_docs, size=n_blocks)
+    base_doc = np.repeat(block_home, 32)[:n_pairs]
+    pa = (base_doc + rng.integers(0, window, size=n_pairs)) % n_docs
+    pb = (base_doc + rng.integers(0, window, size=n_pairs)) % n_docs
+
+    tb = TraceBuilder("SS", config.gpu.num_sms, config.gpu.warp_size)
+    warps_emitted = 0
+    for base in range(0, n_pairs, 32):
+        if warps_emitted >= max_warps:
+            break
+        ps = np.arange(base, min(base + 32, n_pairs))
+        wb = tb.new_warp()
+        warps_emitted += 1
+        wb.compute(4).load_stream(a_pairs, base * 2)  # coalesced pair list
+        # feature-major vector gathers: vecs[f * n_docs + doc]
+        da, db = pa[ps], pb[ps]
+        for f in range(0, vec_len, vec_len // 2):
+            wb.compute(3).load_gather(a_vecs, (f * n_docs + da).tolist())
+            wb.compute(3).load_gather(a_vecs, (f * n_docs + db).tolist())
+        wb.compute(12)
+        # score writes: pair order is arrival order, but pairs reference
+        # scattered score-matrix cells in the real kernel — model as a
+        # hashed scatter to spread rows.
+        scat = (ps * 7919) % n_pairs
+        wb.store_gather(a_scores, scat.tolist())
+        # partial-result spill (MARS emits intermediate key/values)
+        wb.store_gather(a_scores, ((scat + 1) % n_pairs).tolist())
+    return tb.build()

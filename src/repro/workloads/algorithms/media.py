@@ -1,0 +1,119 @@
+"""Media/dynamic-programming workloads: sad (Parboil) and nw (Rodinia).
+
+``sad`` (sum of absolute differences) streams reference and candidate
+macroblock rows with strong row-buffer locality but writes a dense result
+cube — write intensity is what stresses the drain machinery here.
+
+``nw`` (Needleman-Wunsch) walks the DP matrix in anti-diagonal wavefronts:
+each cell reads its west/north neighbors (strided by the matrix width, so
+lanes touch several rows) and writes every cell it computes — the paper
+singles out nw as a WG-W winner (high write intensity *and* many stalled
+unit-size groups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SimConfig
+from repro.workloads.builder import Layout, TraceBuilder
+from repro.workloads.trace import KernelTrace
+
+__all__ = ["sad_trace", "nw_trace"]
+
+
+def sad_trace(
+    config: SimConfig,
+    frame_w: int = 704,
+    frame_h: int = 480,
+    block: int = 16,
+    n_candidates: int = 6,
+    seed: int = 43,
+    max_warps: int = 1300,
+) -> KernelTrace:
+    """Parboil sad: per-macroblock search over candidate offsets."""
+    rng = np.random.default_rng(seed)
+    n_pix = frame_w * frame_h
+    blocks_x = frame_w // block
+    blocks_y = frame_h // block
+    lay = Layout()
+    a_ref = lay.alloc("reference", n_pix)
+    a_cur = lay.alloc("current", n_pix)
+    a_sad = lay.alloc("sad_results", blocks_x * blocks_y * n_candidates * 8)
+
+    tb = TraceBuilder("sad", config.gpu.num_sms, config.gpu.warp_size)
+    warps_emitted = 0
+    for by in range(blocks_y):
+        for bx in range(blocks_x):
+            if warps_emitted >= max_warps:
+                return tb.build()
+            wb = tb.new_warp()
+            warps_emitted += 1
+            origin = (by * block) * frame_w + bx * block
+            mb = by * blocks_x + bx
+            # current macroblock rows: streaming, strong row locality
+            for r in range(0, block, 4):
+                wb.compute(2).load_stream(a_cur, origin + r * frame_w)
+            for c in range(n_candidates):
+                dx = int(rng.integers(-8, 9))
+                dy = int(rng.integers(-8, 9))
+                cand = origin + dy * frame_w + dx
+                cand = max(0, min(n_pix - 64, cand))
+                for r in range(0, block, 8):
+                    # candidate rows: lanes split across two misaligned
+                    # image rows (the 2D access that resists coalescing)
+                    idx = [cand + (r + i // 16) * frame_w + i % 16 for i in range(32)]
+                    wb.compute(2).load_gather(a_ref, idx)
+                wb.compute(8)
+                # dense result writes: one SAD vector per candidate
+                wb.store_stream(a_sad, (mb * n_candidates + c) * 8)
+            # macroblock result flush: the Parboil kernel writes the whole
+            # per-block SAD cube at the end (write-heavy phase)
+            wb.store_stream(a_sad, mb * n_candidates * 8)
+    return tb.build()
+
+
+def nw_trace(
+    config: SimConfig,
+    n: int = 2048,
+    tile: int = 32,
+    seed: int = 47,
+    max_warps: int = 1400,
+) -> KernelTrace:
+    """Rodinia Needleman-Wunsch: anti-diagonal DP wavefront over an n x n
+    score matrix (one warp per 32-cell diagonal chunk of a tile)."""
+    rng = np.random.default_rng(seed)
+    lay = Layout()
+    a_matrix = lay.alloc("score_matrix", n * n)
+    a_seq1 = lay.alloc("sequence1", n)
+    a_seq2 = lay.alloc("sequence2", n)
+    a_penalty = lay.alloc("blosum", 24 * 24)
+
+    tb = TraceBuilder("nw", config.gpu.num_sms, config.gpu.warp_size)
+    tiles = n // tile
+    warps_emitted = 0
+    # Process tiles along anti-diagonals (the Rodinia schedule).
+    for d in range(2 * tiles - 1):
+        for ty in range(max(0, d - tiles + 1), min(tiles, d + 1)):
+            tx = d - ty
+            if warps_emitted >= max_warps:
+                return tb.build()
+            wb = tb.new_warp()
+            warps_emitted += 1
+            r0, c0 = ty * tile, tx * tile
+            # sequence chars for the tile: coalesced
+            wb.compute(4).load_stream(a_seq1, r0)
+            wb.load_stream(a_seq2, c0)
+            wb.load_stream(a_penalty, int(rng.integers(0, 24 * 24 - 32)))
+            # wavefront inside the tile: west column (stride n -> one
+            # request per lane-group of rows) and north row (coalesced)
+            west = [(r0 + i) * n + c0 - 1 if c0 > 0 else (r0 + i) * n for i in range(32)]
+            wb.compute(2).load_gather(a_matrix, west)
+            north = (r0 - 1) * n + c0 if r0 > 0 else r0 * n + c0
+            wb.load_stream(a_matrix, north)
+            # compute the tile, writing one strided column chunk per step
+            for step in range(0, tile, 8):
+                wb.compute(6)
+                cells = [(r0 + i) * n + c0 + step for i in range(32)]
+                wb.store_gather(a_matrix, cells)
+    return tb.build()

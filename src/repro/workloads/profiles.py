@@ -1,0 +1,168 @@
+"""Per-benchmark irregularity profiles.
+
+The paper evaluates 11 irregular benchmarks (Table III) and 6 regular
+ones (§VI-A).  We cannot run the CUDA binaries, so each benchmark is
+described by the memory-behaviour statistics the paper reports or implies:
+
+* ``reqs_per_load``       — mean coalesced requests per vector load
+  (Fig. 2: suite mean 5.9);
+* ``frac_divergent``      — fraction of loads with more than one request
+  (Fig. 2: suite mean 56%);
+* ``channels_per_warp``   — memory controllers a divergent warp touches
+  (Fig. 3: suite mean 2.5; cfd/spmv/sssp/sp ≈ 3.2; sad/nw/SS/bfs < 2);
+* ``banks_per_warp``      — banks a warp touches (§III-A: ≈ 2);
+* ``intra_warp_row_frac`` — fraction of a warp's requests sharing a DRAM
+  row (§III-A: ≈ 30%);
+* ``write_ratio``         — stores per load, calibrated to the write
+  intensities of Fig. 12 (nw/SS/sad write-heavy);
+* ``hot_row_frac``        — fraction of requests landing in shared
+  streaming rows (cross-warp row-hit streams the GMC exploits);
+* ``compute_per_load``    — ALU cycles between memory instructions
+  (controls how much latency multithreading can hide).
+
+These drive both the synthetic generator and the scale parameters of the
+algorithmic kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "BenchmarkProfile",
+    "IRREGULAR_PROFILES",
+    "REGULAR_PROFILES",
+    "ALL_PROFILES",
+    "IRREGULAR_BENCHMARKS",
+    "REGULAR_BENCHMARKS",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    name: str
+    suite: str
+    reqs_per_load: float
+    frac_divergent: float
+    channels_per_warp: float
+    banks_per_warp: float
+    intra_warp_row_frac: float = 0.30
+    write_ratio: float = 0.15
+    hot_row_frac: float = 0.15
+    compute_per_load: int = 24
+    loads_per_warp: int = 12
+    warps: int = 160  # thread-level parallelism (see DESIGN.md calibration)
+    # Channel load imbalance (Dirichlet concentration; lower = more skew).
+    # Real kernels load channels unevenly over windows of time, which is
+    # what gives the §IV-C cross-channel coordination its leverage.
+    channel_balance: float = 2.0
+
+    def scaled(self, factor: float) -> "BenchmarkProfile":
+        return replace(self, warps=max(32, int(self.warps * factor)))
+
+
+# --- irregular suite (Table III) -------------------------------------------
+# channels_per_warp follows §VI: cfd, spmv, sssp, sp touch ~3.2 controllers;
+# sad, nw, SS, bfs fewer than 2.  Write ratios follow Fig. 12 (nw, SS, sad
+# write-heavy; graph workloads read-mostly).
+IRREGULAR_PROFILES: dict[str, BenchmarkProfile] = {
+    p.name: p
+    for p in (
+        BenchmarkProfile(
+            "bfs", "rodinia", reqs_per_load=6.2, frac_divergent=0.62,
+            channels_per_warp=1.8, banks_per_warp=2.0, write_ratio=0.18,
+            hot_row_frac=0.22, compute_per_load=16,
+        ),
+        BenchmarkProfile(
+            "cfd", "rodinia", reqs_per_load=5.0, frac_divergent=0.55,
+            channels_per_warp=3.2, banks_per_warp=2.4, write_ratio=0.3,
+            compute_per_load=40,
+        ),
+        BenchmarkProfile(
+            "nw", "rodinia", reqs_per_load=3.6, frac_divergent=0.48,
+            channels_per_warp=1.7, banks_per_warp=1.8, write_ratio=0.85,
+            intra_warp_row_frac=0.38, hot_row_frac=0.25, compute_per_load=20,
+        ),
+        BenchmarkProfile(
+            "kmeans", "rodinia", reqs_per_load=4.4, frac_divergent=0.52,
+            channels_per_warp=2.4, banks_per_warp=2.0, write_ratio=0.25,
+            compute_per_load=32,
+        ),
+        BenchmarkProfile(
+            "PVC", "mars", reqs_per_load=7.0, frac_divergent=0.66,
+            channels_per_warp=2.6, banks_per_warp=2.2, write_ratio=0.5,
+            hot_row_frac=0.10, compute_per_load=18,
+        ),
+        BenchmarkProfile(
+            "SS", "mars", reqs_per_load=5.4, frac_divergent=0.58,
+            channels_per_warp=1.8, banks_per_warp=1.9, write_ratio=0.75,
+            compute_per_load=22,
+        ),
+        BenchmarkProfile(
+            "sp", "lonestar", reqs_per_load=6.6, frac_divergent=0.64,
+            channels_per_warp=3.2, banks_per_warp=2.5, write_ratio=0.28,
+            hot_row_frac=0.08, compute_per_load=26,
+        ),
+        BenchmarkProfile(
+            "bh", "lonestar", reqs_per_load=7.4, frac_divergent=0.68,
+            channels_per_warp=2.5, banks_per_warp=2.3, write_ratio=0.15,
+            hot_row_frac=0.20, compute_per_load=36,
+        ),
+        BenchmarkProfile(
+            "sssp", "lonestar", reqs_per_load=6.4, frac_divergent=0.63,
+            channels_per_warp=3.3, banks_per_warp=2.5, write_ratio=0.25,
+            hot_row_frac=0.08, compute_per_load=20,
+        ),
+        BenchmarkProfile(
+            "spmv", "parboil", reqs_per_load=5.8, frac_divergent=0.60,
+            channels_per_warp=3.2, banks_per_warp=2.4, write_ratio=0.18,
+            intra_warp_row_frac=0.32, compute_per_load=24,
+        ),
+        BenchmarkProfile(
+            "sad", "parboil", reqs_per_load=4.0, frac_divergent=0.50,
+            channels_per_warp=1.5, banks_per_warp=1.6, write_ratio=0.7,
+            intra_warp_row_frac=0.40, hot_row_frac=0.28, compute_per_load=28,
+        ),
+    )
+}
+
+# --- regular suite (§VI-A): streaming access, ~1 request per load ----------
+REGULAR_PROFILES: dict[str, BenchmarkProfile] = {
+    p.name: p
+    for p in (
+        BenchmarkProfile(
+            "streamcluster", "rodinia", reqs_per_load=1.0, frac_divergent=0.0,
+            channels_per_warp=1.0, banks_per_warp=1.0, intra_warp_row_frac=0.9,
+            write_ratio=0.05, hot_row_frac=0.85, compute_per_load=20,
+        ),
+        BenchmarkProfile(
+            "srad2", "rodinia", reqs_per_load=1.1, frac_divergent=0.06,
+            channels_per_warp=1.1, banks_per_warp=1.1, intra_warp_row_frac=0.85,
+            write_ratio=0.30, hot_row_frac=0.80, compute_per_load=28,
+        ),
+        BenchmarkProfile(
+            "bp", "rodinia", reqs_per_load=1.0, frac_divergent=0.0,
+            channels_per_warp=1.0, banks_per_warp=1.0, intra_warp_row_frac=0.9,
+            write_ratio=0.25, hot_row_frac=0.85, compute_per_load=24,
+        ),
+        BenchmarkProfile(
+            "hotspot", "rodinia", reqs_per_load=1.1, frac_divergent=0.08,
+            channels_per_warp=1.1, banks_per_warp=1.1, intra_warp_row_frac=0.85,
+            write_ratio=0.20, hot_row_frac=0.80, compute_per_load=40,
+        ),
+        BenchmarkProfile(
+            "InvertedIndex", "mars", reqs_per_load=1.2, frac_divergent=0.10,
+            channels_per_warp=1.2, banks_per_warp=1.2, intra_warp_row_frac=0.8,
+            write_ratio=0.15, hot_row_frac=0.70, compute_per_load=18,
+        ),
+        BenchmarkProfile(
+            "PageViewRank", "mars", reqs_per_load=1.2, frac_divergent=0.10,
+            channels_per_warp=1.2, banks_per_warp=1.2, intra_warp_row_frac=0.8,
+            write_ratio=0.20, hot_row_frac=0.70, compute_per_load=20,
+        ),
+    )
+}
+
+ALL_PROFILES = {**IRREGULAR_PROFILES, **REGULAR_PROFILES}
+IRREGULAR_BENCHMARKS = tuple(IRREGULAR_PROFILES)
+REGULAR_BENCHMARKS = tuple(REGULAR_PROFILES)

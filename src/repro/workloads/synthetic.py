@@ -1,0 +1,194 @@
+"""Profile-driven synthetic irregular-workload generator.
+
+Generates kernel traces whose *memory-system signature* matches a
+:class:`~repro.workloads.profiles.BenchmarkProfile`: requests per load,
+fraction of divergent loads, channel/bank spread per warp, intra-warp row
+locality, shared row-hit streams, and write intensity.  Placement is exact
+because addresses are synthesized through the *inverse* address map
+(:meth:`AddressMap.compose`), so "this request goes to channel 3, bank 7,
+row 123" means exactly that after routing.
+
+The algorithmic kernels in ``repro.workloads.algorithms`` produce the same
+signatures from real data structures; the synthetic generator exists for
+controlled experiments and calibration sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import SimConfig
+from repro.gpu.address_map import AddressMap
+from repro.workloads.builder import ELEM_BYTES, TraceBuilder
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.trace import KernelTrace
+
+__all__ = ["synthetic_trace", "HotRowStreams"]
+
+
+class HotRowStreams:
+    """Shared streaming arrays: the cross-warp row-hit traffic the GMC loves.
+
+    Each stream walks one channel's address space linearly, the way a
+    large streaming array does under the §II-C mapping: the 16 lines of a
+    row are visited back-to-back (long row-hit runs), then the stream
+    rotates to the next bank — so hot traffic load-balances across banks
+    instead of camping on one and starving it.
+    """
+
+    def __init__(
+        self, amap: AddressMap, n_streams: int, rng: np.random.Generator
+    ) -> None:
+        self.amap = amap
+        org = amap.org
+        self.rng = rng
+        self.lines_per_row = org.lines_per_row
+        self.banks = org.banks_per_channel
+        self.rows = org.rows_per_bank
+        # [channel, line cursor within the channel's linear walk]
+        self._streams = [
+            [
+                int(rng.integers(org.num_channels)),
+                int(rng.integers(self.banks * self.rows)) * self.lines_per_row,
+            ]
+            for _ in range(n_streams)
+        ]
+
+    def next_line(self, preferred_channels: Optional[frozenset[int]] = None) -> int:
+        if preferred_channels:
+            candidates = [s for s in self._streams if s[0] in preferred_channels]
+        else:
+            candidates = self._streams
+        if not candidates:
+            candidates = self._streams
+        s = candidates[int(self.rng.integers(len(candidates)))]
+        ch, cursor = s
+        seg, col = divmod(cursor, self.lines_per_row)
+        bank_raw = seg % self.banks
+        upper = seg // self.banks
+        bank = bank_raw ^ (upper % self.banks)
+        row = upper % self.rows
+        addr = self.amap.compose(ch, bank % self.banks, row, col)
+        s[1] = (cursor + 1) % (self.banks * self.rows * self.lines_per_row)
+        return addr
+
+
+def _sample_group_size(
+    rng: np.random.Generator, profile: BenchmarkProfile, warp_size: int
+) -> int:
+    """Coalesced request count for one load, matching the Fig. 2 stats."""
+    if rng.random() >= profile.frac_divergent:
+        return 1
+    mean_div = max(2.0, (profile.reqs_per_load - (1.0 - profile.frac_divergent))
+                   / max(profile.frac_divergent, 1e-9))
+    # 2 + geometric tail: integer >= 2 with the right mean, bounded by lanes.
+    p = 1.0 / max(mean_div - 1.0, 1.0)
+    n = 1 + int(rng.geometric(min(1.0, p)))
+    return int(min(warp_size, max(2, n)))
+
+
+def _spread_lanes(lines: list[int], warp_size: int) -> list[Optional[int]]:
+    """Assign the 32 lanes across the chosen lines (contiguous runs)."""
+    n = len(lines)
+    lanes: list[Optional[int]] = []
+    for i in range(warp_size):
+        line = lines[i * n // warp_size]
+        lanes.append(line + ELEM_BYTES * (i % (128 // ELEM_BYTES)))
+    return lanes
+
+
+def synthetic_trace(
+    profile: BenchmarkProfile,
+    config: SimConfig,
+    seed: int = 1,
+    scale: float = 1.0,
+) -> KernelTrace:
+    """Generate a kernel trace matching ``profile`` under ``config``'s mapping."""
+    org = config.dram_org
+    amap = AddressMap(org)
+    rng = np.random.default_rng(seed)
+    warp_size = config.gpu.warp_size
+    tb = TraceBuilder(profile.name, config.gpu.num_sms, warp_size)
+    hot = HotRowStreams(amap, n_streams=max(4, 2 * org.num_channels), rng=rng)
+
+    # Scaling reduces the per-warp load count, *not* the warp count: the
+    # warp population sets the thread-level parallelism that keeps the
+    # memory system in the saturated regime the paper studies.
+    n_warps = profile.warps
+    loads_per_warp = max(3, int(round(profile.loads_per_warp * scale)))
+    n_ch_base = int(profile.channels_per_warp)
+    n_ch_extra = profile.channels_per_warp - n_ch_base
+    banks_per_ch = max(1.0, profile.banks_per_warp)
+    # Uneven channel popularity (see BenchmarkProfile.channel_balance).
+    channel_weights = rng.dirichlet(
+        np.full(org.num_channels, profile.channel_balance)
+    )
+
+    for _ in range(n_warps):
+        wb = tb.new_warp()
+        # Private working set: a few channels, a few banks each, 3 rows per bank.
+        n_ch = min(org.num_channels, n_ch_base + (1 if rng.random() < n_ch_extra else 0))
+        n_ch = max(1, n_ch)
+        chans = rng.choice(
+            org.num_channels, size=n_ch, replace=False, p=channel_weights
+        )
+        region: list[tuple[int, int]] = []
+        for ch in chans:
+            nb = int(banks_per_ch) + (1 if rng.random() < (banks_per_ch % 1.0) else 0)
+            nb = max(1, min(org.banks_per_channel, nb))
+            for bank in rng.choice(org.banks_per_channel, size=nb, replace=False):
+                region.append((int(ch), int(bank)))
+        private_rows = {
+            cb: rng.integers(org.rows_per_bank, size=3).tolist() for cb in region
+        }
+        current_row = {cb: int(rows[0]) for cb, rows in private_rows.items()}
+
+        warp_channels = frozenset(int(c) for c in chans)
+        # Output region: stores mostly stream to fresh lines (results
+        # arrays), which is what turns into DRAM write-back traffic once
+        # the L2 evicts them; re-written hot lines stay cached.
+        out_cb = region[int(rng.integers(len(region)))]
+        out_row = int(rng.integers(org.rows_per_bank))
+        out_col = 0
+
+        def next_store_line() -> int:
+            nonlocal out_row, out_col
+            addr = amap.compose(out_cb[0], out_cb[1], out_row, out_col)
+            out_col += 1
+            if out_col >= org.lines_per_row:
+                out_col = 0
+                out_row = (out_row + 1) % org.rows_per_bank
+            return addr
+
+        def one_line() -> int:
+            if rng.random() < profile.hot_row_frac:
+                # Shared streams, but drawn from the warp's own channels so
+                # the per-warp channel spread stays on profile.
+                return hot.next_line(warp_channels)
+            cb = region[int(rng.integers(len(region)))]
+            if rng.random() < profile.intra_warp_row_frac:
+                row = current_row[cb]
+            else:
+                row = int(private_rows[cb][int(rng.integers(3))])
+                current_row[cb] = row
+            col = int(rng.integers(org.lines_per_row))
+            return amap.compose(cb[0], cb[1], row, col)
+
+        for _load in range(loads_per_warp):
+            wb.compute(profile.compute_per_load)
+            n = _sample_group_size(rng, profile, warp_size)
+            lines = [one_line() for _ in range(n)]
+            wb.load_addresses(_spread_lanes(lines, warp_size))
+            if rng.random() < profile.write_ratio:
+                # Mostly streaming result writes plus some data-dependent
+                # scatter (nw/SS/sad write both patterns).
+                wlines = [
+                    next_store_line() if rng.random() < 0.7 else one_line()
+                    for _ in range(max(1, n))
+                ]
+                wb.store_addresses(_spread_lanes(wlines, warp_size))
+        wb.compute(profile.compute_per_load)
+
+    return tb.build()

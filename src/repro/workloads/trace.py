@@ -1,0 +1,141 @@
+"""Kernel trace containers.
+
+The SM model is trace-driven: each warp executes a list of *segments*, a
+segment being a run of compute instructions optionally terminated by one
+vector memory instruction (32 lane addresses, some possibly masked off).
+This is exactly the information the paper's mechanisms consume — request
+addresses, their warp of origin, and the compute spacing that determines
+how much latency the SM's multithreading can hide.
+
+Traces can be persisted to ``.npz`` archives for reuse across experiment
+runs (addresses and segment shapes are flattened into numpy arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["MemOp", "Segment", "WarpTrace", "KernelTrace"]
+
+
+@dataclass(slots=True)
+class MemOp:
+    """One vector memory instruction."""
+
+    is_write: bool
+    lane_addrs: list[Optional[int]]
+
+    def active_lanes(self) -> int:
+        return sum(1 for a in self.lane_addrs if a is not None)
+
+
+@dataclass(slots=True)
+class Segment:
+    """``compute_cycles`` ALU instructions, then (optionally) one memory op."""
+
+    compute_cycles: int = 0
+    mem: Optional[MemOp] = None
+
+    @property
+    def instructions(self) -> int:
+        return self.compute_cycles + (1 if self.mem is not None else 0)
+
+
+@dataclass(slots=True)
+class WarpTrace:
+    """The full instruction trace of one warp."""
+
+    sm_id: int
+    warp_id: int
+    segments: list[Segment] = field(default_factory=list)
+
+    def loads(self) -> Iterator[MemOp]:
+        return (s.mem for s in self.segments if s.mem is not None and not s.mem.is_write)
+
+    def instructions(self) -> int:
+        return sum(s.instructions for s in self.segments)
+
+    def memory_ops(self) -> int:
+        return sum(1 for s in self.segments if s.mem is not None)
+
+
+@dataclass
+class KernelTrace:
+    """A kernel: warps pre-assigned to SMs."""
+
+    name: str
+    warps: list[WarpTrace] = field(default_factory=list)
+
+    def by_sm(self, num_sms: int) -> list[list[WarpTrace]]:
+        buckets: list[list[WarpTrace]] = [[] for _ in range(num_sms)]
+        for w in self.warps:
+            if not 0 <= w.sm_id < num_sms:
+                raise ValueError(
+                    f"warp {w.warp_id} assigned to SM {w.sm_id} of {num_sms}"
+                )
+            buckets[w.sm_id].append(w)
+        return buckets
+
+    def total_instructions(self) -> int:
+        return sum(w.instructions() for w in self.warps)
+
+    def total_memory_ops(self) -> int:
+        return sum(w.memory_ops() for w in self.warps)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Serialize to a compressed npz archive."""
+        warp_meta = []  # (sm_id, warp_id, n_segments)
+        seg_meta = []  # (compute_cycles, has_mem, is_write, n_lanes)
+        lanes = []  # flattened lane addresses, -1 for masked lanes
+        for w in self.warps:
+            warp_meta.append((w.sm_id, w.warp_id, len(w.segments)))
+            for s in w.segments:
+                if s.mem is None:
+                    seg_meta.append((s.compute_cycles, 0, 0, 0))
+                else:
+                    seg_meta.append(
+                        (s.compute_cycles, 1, int(s.mem.is_write), len(s.mem.lane_addrs))
+                    )
+                    lanes.extend(
+                        -1 if a is None else a for a in s.mem.lane_addrs
+                    )
+        np.savez_compressed(
+            path,
+            name=np.array(self.name),
+            warp_meta=np.asarray(warp_meta, dtype=np.int64).reshape(-1, 3),
+            seg_meta=np.asarray(seg_meta, dtype=np.int64).reshape(-1, 4),
+            lanes=np.asarray(lanes, dtype=np.int64),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "KernelTrace":
+        data = np.load(path, allow_pickle=False)
+        name = str(data["name"])
+        warp_meta = data["warp_meta"]
+        seg_meta = data["seg_meta"]
+        lanes = data["lanes"]
+        warps: list[WarpTrace] = []
+        si = 0
+        li = 0
+        for sm_id, warp_id, n_segs in warp_meta:
+            segments: list[Segment] = []
+            for _ in range(n_segs):
+                compute, has_mem, is_write, n_lanes = seg_meta[si]
+                si += 1
+                mem = None
+                if has_mem:
+                    raw = lanes[li : li + n_lanes]
+                    li += n_lanes
+                    mem = MemOp(
+                        is_write=bool(is_write),
+                        lane_addrs=[None if a < 0 else int(a) for a in raw],
+                    )
+                segments.append(Segment(compute_cycles=int(compute), mem=mem))
+            warps.append(WarpTrace(int(sm_id), int(warp_id), segments))
+        return cls(name=name, warps=warps)

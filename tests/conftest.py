@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))  # make `helpers` importable
+
+from repro.core.config import SimConfig  # noqa: E402
+
+from helpers import MCHarness  # noqa: E402
+
+
+@pytest.fixture
+def config() -> SimConfig:
+    return SimConfig()
+
+
+@pytest.fixture
+def small_config() -> SimConfig:
+    return SimConfig().small()
+
+
+@pytest.fixture
+def harness():
+    return MCHarness

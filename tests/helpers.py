@@ -1,0 +1,62 @@
+"""Shared helpers for the test suite (importable as ``helpers``)."""
+
+from __future__ import annotations
+
+from repro.core.config import SimConfig
+from repro.core.engine import Engine
+from repro.core.request import MemoryRequest
+from repro.core.stats import ChannelStats
+from repro.mc.registry import controller_class
+
+
+def make_request(
+    bank: int = 0,
+    row: int = 0,
+    col: int = 0,
+    channel: int = 0,
+    is_write: bool = False,
+    sm_id: int = 0,
+    warp_id: int = 0,
+    addr: int | None = None,
+) -> MemoryRequest:
+    """A raw, pre-routed request for controller-level tests."""
+    if addr is None:
+        # Unique synthetic address: identity is all the tests need.
+        addr = (((channel * 16 + bank) * 4096 + row) * 16 + col) * 128
+    req = MemoryRequest(addr=addr, is_write=is_write, sm_id=sm_id, warp_id=warp_id)
+    req.channel, req.bank, req.row, req.col = channel, bank, row, col
+    return req
+
+
+class MCHarness:
+    """Engine + one controller + reply capture, for scheduler unit tests."""
+
+    def __init__(self, scheduler: str, config: SimConfig | None = None) -> None:
+        self.config = config or SimConfig()
+        self.engine = Engine()
+        self.stats = ChannelStats()
+        self.delivered: list[MemoryRequest] = []
+        self.mc = controller_class(scheduler)(
+            self.engine, 0, self.config, self.stats, self.delivered.append
+        )
+        if hasattr(self.mc, "attach_network"):
+            from repro.mc.coordination import CoordinationNetwork
+
+            self.network = CoordinationNetwork(self.engine)
+            self.mc.attach_network(self.network)
+
+    def read(self, **kwargs) -> MemoryRequest:
+        req = make_request(**kwargs)
+        self.mc.receive_read(req)
+        return req
+
+    def write(self, **kwargs) -> MemoryRequest:
+        req = make_request(is_write=True, **kwargs)
+        self.mc.receive_write(req)
+        return req
+
+    def run(self, max_events: int = 500_000) -> None:
+        self.engine.run(max_events=max_events)
+
+    def order_delivered(self) -> list[int]:
+        return [r.req_id for r in self.delivered]

@@ -1,0 +1,89 @@
+"""Unit tests for the per-bank DRAM state machine."""
+
+import pytest
+
+from repro.core.config import DRAMTimingConfig
+from repro.dram.bank import Bank
+
+T = DRAMTimingConfig()
+
+
+def test_activate_then_column_respects_trcd():
+    b = Bank(0, 0)
+    b.do_activate(0, row=5, t=T)
+    assert b.open_row == 5
+    assert b.earliest_col == T.trcd_ps
+    with pytest.raises(RuntimeError):
+        b.do_column(0, is_write=False, t=T)  # before tRCD
+    end = b.do_column(T.trcd_ps, is_write=False, t=T)
+    assert end == T.trcd_ps + T.tcas_ps + T.tburst_ps
+
+
+def test_double_activate_rejected():
+    b = Bank(0, 0)
+    b.do_activate(0, row=5, t=T)
+    with pytest.raises(RuntimeError):
+        b.do_activate(T.trc_ps, row=6, t=T)  # row still open
+
+
+def test_precharge_requires_open_row_and_tras():
+    b = Bank(0, 0)
+    with pytest.raises(RuntimeError):
+        b.do_precharge(0, T)
+    b.do_activate(0, row=1, t=T)
+    with pytest.raises(RuntimeError):
+        b.do_precharge(T.tras_ps - 1, T)
+    b.do_precharge(T.tras_ps, T)
+    assert b.open_row is None
+    # tRP gates the next activate
+    assert b.earliest_act >= T.tras_ps + T.trp_ps
+
+
+def test_read_to_precharge_trtp():
+    b = Bank(0, 0)
+    b.do_activate(0, row=1, t=T)
+    t_rd = T.trcd_ps + 100 * T.tck_ps  # read late: tRTP dominates tRAS
+    b.do_column(t_rd, is_write=False, t=T)
+    assert b.earliest_pre >= t_rd + T.trtp_ps
+
+
+def test_write_recovery_gates_precharge():
+    b = Bank(0, 0)
+    b.do_activate(0, row=1, t=T)
+    end = b.do_column(T.trcd_ps, is_write=True, t=T)
+    assert end == T.trcd_ps + T.twl_ps + T.tburst_ps
+    assert b.earliest_pre >= end + T.twr_ps
+
+
+def test_trc_same_bank_activate_spacing():
+    b = Bank(0, 0)
+    b.do_activate(0, row=1, t=T)
+    b.do_column(T.trcd_ps, is_write=False, t=T)
+    b.do_precharge(T.tras_ps, T)
+    assert b.earliest_act >= T.trc_ps
+
+
+def test_multi_burst_column():
+    b = Bank(0, 0)
+    b.do_activate(0, row=1, t=T)
+    end = b.do_column(T.trcd_ps, is_write=False, t=T, n_bursts=2)
+    assert end == T.trcd_ps + T.tcas_ps + 2 * T.tburst_ps
+    assert b.hits_since_act == 2
+
+
+def test_hits_counter_saturates_at_31():
+    b = Bank(0, 0)
+    b.do_activate(0, row=1, t=T)
+    t = T.trcd_ps
+    for _ in range(40):
+        b.do_column(t, is_write=False, t=T)
+        t += T.tburst_ps
+    assert b.hits_since_act == 31
+
+
+def test_counters():
+    b = Bank(3, 1)
+    b.do_activate(0, 9, T)
+    b.do_column(T.trcd_ps, False, T)
+    b.do_precharge(max(T.tras_ps, T.trcd_ps + T.trtp_ps), T)
+    assert (b.acts, b.pres, b.col_reads, b.col_writes) == (1, 1, 1, 0)

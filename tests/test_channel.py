@@ -1,0 +1,113 @@
+"""Unit and property tests for channel-level DRAM timing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import DRAMOrgConfig, DRAMTimingConfig
+from repro.dram.channel import Channel
+
+ORG = DRAMOrgConfig()
+T = DRAMTimingConfig()
+
+
+def fresh() -> Channel:
+    return Channel(ORG, T)
+
+
+def test_trrd_spacing_across_banks():
+    ch = fresh()
+    t0 = ch.earliest_act(0, 0)
+    ch.issue_act(0, 1, t0)
+    t1 = ch.earliest_act(1, t0)
+    assert t1 - t0 >= T.trrd_ps
+
+
+def test_tfaw_limits_fifth_activate():
+    ch = fresh()
+    times = []
+    for b in range(5):
+        t = ch.earliest_act(b, times[-1] if times else 0)
+        ch.issue_act(b, 1, t)
+        times.append(t)
+    assert times[4] - times[0] >= T.tfaw_ps
+
+
+def test_bank_group_ccd_long_vs_short():
+    ch = fresh()
+    # Activate one bank in group 0 and one in group 1 far in the past.
+    t = 0
+    for b in (0, 4, 1):
+        ta = ch.earliest_act(b, t)
+        ch.issue_act(b, 1, ta)
+        t = ta
+    start = max(ch.banks[b].earliest_col for b in (0, 1, 4)) + 10 * T.tck_ps
+    t0 = ch.earliest_col(0, False, start)
+    ch.issue_col(0, False, t0)
+    # Different group: tCCDS; same group: tCCDL.
+    diff_group = ch.earliest_col(4, False, t0)
+    same_group = ch.earliest_col(1, False, t0)
+    assert same_group - t0 >= T.tccdl_ps
+    assert same_group >= diff_group
+
+
+def test_data_bus_serializes_bursts():
+    ch = fresh()
+    for b in (0, 4):
+        t = ch.earliest_act(b, ch.next_cmd_free)
+        ch.issue_act(b, 1, t)
+    t0 = ch.earliest_col(0, False, ch.banks[4].earliest_col)
+    end0 = ch.issue_col(0, False, t0)
+    t1 = ch.earliest_col(4, False, t0)
+    end1 = ch.issue_col(4, False, t1)
+    # Second read's data must start after the first finishes.
+    assert end1 - (ch.bursts_per_access * T.tburst_ps) >= end0
+
+
+def test_write_to_read_turnaround():
+    ch = fresh()
+    t = ch.earliest_act(0, 0)
+    ch.issue_act(0, 1, t)
+    tw = ch.earliest_col(0, True, t)
+    wend = ch.issue_col(0, True, tw)
+    tr = ch.earliest_col(0, False, tw)
+    assert tr >= wend + T.twtr_ps
+
+
+def test_command_bus_one_per_tck():
+    ch = fresh()
+    t0 = ch.earliest_act(0, 0)
+    ch.issue_act(0, 1, t0)
+    assert ch.earliest_pre(1, t0) >= t0 + T.tck_ps
+
+
+def test_busy_accounting():
+    ch = fresh()
+    t = ch.earliest_act(0, 0)
+    ch.issue_act(0, 1, t)
+    tc = ch.earliest_col(0, False, t)
+    ch.issue_col(0, False, tc)
+    assert ch.data_bus_busy_ps == ch.bursts_per_access * T.tburst_ps
+    assert ch.commands_issued == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 3)), min_size=1, max_size=60))
+def test_property_legal_sequences_never_violate_bank_state(ops):
+    """Drive random (bank, op) sequences through the earliest-issue API;
+    the channel must accept every command at its advertised earliest time
+    without raising, and the clock never goes backwards."""
+    ch = fresh()
+    now = 0
+    for bank, op in ops:
+        b = ch.banks[bank]
+        if b.open_row is None:
+            t = ch.earliest_act(bank, now)
+            ch.issue_act(bank, row=op, now=t)
+        elif op == 3:
+            t = ch.earliest_pre(bank, now)
+            ch.issue_pre(bank, t)
+        else:
+            is_write = op == 2
+            t = ch.earliest_col(bank, is_write, now)
+            ch.issue_col(bank, is_write, t)
+        assert t >= now
+        now = t

@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "bfs" in out and "wg-w" in out
+
+
+def test_run_prints_summary(capsys):
+    assert main(["run", "sad", "--scale", "tiny", "--scheduler", "gmc"]) == 0
+    out = capsys.readouterr().out
+    assert "ipc" in out
+    assert "row_hit_rate" in out
+
+
+def test_run_algorithmic_kind(capsys):
+    assert main(
+        ["run", "sad", "--scale", "tiny", "--kind", "algorithmic"]
+    ) == 0
+    assert "ipc" in capsys.readouterr().out
+
+
+def test_compare_table(capsys):
+    assert main(["compare", "sad", "--scale", "tiny"]) == 0
+    out = capsys.readouterr().out
+    for sched in ("gmc", "wg", "wg-m", "wg-bw", "wg-w"):
+        assert sched in out
+
+
+def test_rejects_unknown_benchmark():
+    with pytest.raises(SystemExit):
+        main(["run", "not-a-benchmark"])

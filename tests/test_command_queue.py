@@ -1,0 +1,87 @@
+"""Unit tests for the per-bank command queues and score bookkeeping."""
+
+from repro.core.config import DRAMOrgConfig
+from repro.mc.command_queue import SCORE_HIT, SCORE_MISS, CommandQueues
+
+from helpers import make_request
+
+ORG = DRAMOrgConfig()
+
+
+def fresh(depth: int = 8) -> CommandQueues:
+    return CommandQueues(ORG, depth)
+
+
+def test_first_insert_scores_as_miss():
+    cq = fresh()
+    entry = cq.insert(make_request(bank=0, row=5), 0)
+    assert entry.score == SCORE_MISS
+    assert cq.queue_score[0] == SCORE_MISS
+    assert cq.last_sched_row[0] == 5
+
+
+def test_same_row_scores_as_hit():
+    cq = fresh()
+    cq.insert(make_request(bank=0, row=5), 0)
+    entry = cq.insert(make_request(bank=0, row=5), 0)
+    assert entry.score == SCORE_HIT
+    assert cq.queue_score[0] == SCORE_MISS + SCORE_HIT
+
+
+def test_row_change_resets_hit_counter():
+    cq = fresh()
+    cq.insert(make_request(bank=0, row=5), 0)
+    cq.insert(make_request(bank=0, row=5), 0)
+    assert cq.hits_since_row_change[0] == ORG.bursts_per_access
+    cq.insert(make_request(bank=0, row=6), 0)
+    assert cq.hits_since_row_change[0] == 0
+
+
+def test_pop_restores_score():
+    cq = fresh()
+    cq.insert(make_request(bank=0, row=5), 0)
+    cq.insert(make_request(bank=0, row=5), 0)
+    e = cq.pop(0)
+    assert e.score == SCORE_MISS
+    assert cq.queue_score[0] == SCORE_HIT
+    cq.pop(0)
+    assert cq.queue_score[0] == 0
+
+
+def test_space_and_occupancy():
+    cq = fresh(depth=2)
+    assert cq.space(0) == 2
+    cq.insert(make_request(bank=0, row=1), 0)
+    assert cq.space(0) == 1
+    assert cq.occupancy(0) == 1
+    cq.insert(make_request(bank=0, row=1), 0)
+    cq.insert(make_request(bank=0, row=1), 0)  # soft overflow allowed
+    assert cq.space(0) == 0
+    assert cq.total_occupancy() == 3
+
+
+def test_busy_banks_and_pending_reads():
+    cq = fresh()
+    cq.insert(make_request(bank=0, row=1), 0)
+    cq.insert(make_request(bank=3, row=1, is_write=True), 0)
+    assert cq.busy_banks() == 2
+    assert cq.pending_reads() == 1
+    assert not cq.empty()
+
+
+def test_head_and_timestamps():
+    cq = fresh()
+    req = make_request(bank=2, row=9)
+    cq.insert(req, 1234)
+    assert cq.head(2).req is req
+    assert req.t_scheduled == 1234
+    assert cq.head(3) is None
+
+
+def test_predicted_hit_tracks_queue_tail():
+    cq = fresh()
+    assert not cq.predicted_hit(0, 7)
+    cq.insert(make_request(bank=0, row=7), 0)
+    assert cq.predicted_hit(0, 7)
+    assert cq.request_score(0, 7) == SCORE_HIT
+    assert cq.request_score(0, 8) == SCORE_MISS

@@ -1,0 +1,90 @@
+"""Unit tests for configuration dataclasses and timing conversion."""
+
+import pytest
+
+from repro.core.config import (
+    CacheConfig,
+    DRAMOrgConfig,
+    DRAMTimingConfig,
+    GPUConfig,
+    SimConfig,
+)
+
+
+def test_gddr5_defaults_match_table2():
+    t = DRAMTimingConfig()
+    assert t.tck_ps == 667
+    # All paper values, rounded up to command-clock edges.
+    assert t.trc_ps == 60 * 667
+    assert t.trcd_ps == 18 * 667
+    assert t.trp_ps == 18 * 667
+    assert t.tcas_ps == 18 * 667
+    assert t.tras_ps == 42 * 667
+    assert t.tfaw_ps == 35 * 667
+    assert t.trrd_ps == 9 * 667
+    assert t.twtr_ps == 8 * 667
+    assert t.trtp_ps == 3 * 667
+    assert t.tburst_ps == 2 * 667
+    assert t.twl_ps == 4 * 667
+    assert t.tccdl_ps == 3 * 667
+    assert t.tccds_ps == 2 * 667
+
+
+def test_row_miss_penalty_is_36ns():
+    t = DRAMTimingConfig()
+    assert t.row_miss_penalty_ps == t.trp_ps + t.trcd_ps + t.tcas_ps
+    assert abs(t.row_miss_penalty_ps / 1000 - 36.0) < 0.1
+    assert abs(t.row_hit_latency_ps / 1000 - 12.0) < 0.1
+
+
+def test_invalid_tck_rejected():
+    with pytest.raises(ValueError):
+        DRAMTimingConfig(tck_ns=0)
+
+
+def test_org_defaults_and_validation():
+    org = DRAMOrgConfig()
+    assert org.num_channels == 6
+    assert org.banks_per_channel == 16
+    assert org.num_bank_groups == 4
+    assert org.lines_per_row == 16
+    assert org.bursts_per_access == 2  # 128B line over 64B bursts
+    with pytest.raises(ValueError):
+        DRAMOrgConfig(banks_per_channel=10, banks_per_group=4)
+    with pytest.raises(ValueError):
+        DRAMOrgConfig(row_size_bytes=100)
+
+
+def test_cache_config_sets():
+    l1 = CacheConfig(size_bytes=32 * 1024, ways=8)
+    assert l1.num_sets == 32
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, ways=8)
+
+
+def test_gpu_defaults_match_table2():
+    g = GPUConfig()
+    assert g.num_sms == 30
+    assert g.warp_size == 32
+    assert g.max_warps_per_sm == 32
+    assert g.l1.size_bytes == 32 * 1024
+    assert g.l2_slice.size_bytes == 128 * 1024
+    assert g.l2_slice.ways == 16
+
+
+def test_simconfig_with_scheduler_and_small():
+    cfg = SimConfig()
+    wg = cfg.with_scheduler("wg-w")
+    assert wg.scheduler == "wg-w"
+    assert cfg.scheduler == "gmc"  # original untouched
+    small = cfg.small()
+    assert small.gpu.num_sms == 4
+    assert small.dram_org.num_channels == 2
+
+
+def test_mc_watermarks():
+    cfg = SimConfig()
+    assert cfg.mc.write_high_watermark == 32
+    assert cfg.mc.write_low_watermark == 16
+    assert cfg.mc.read_queue_entries == 64
+    assert cfg.mc.write_queue_entries == 64

@@ -1,0 +1,109 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.engine import Engine, SimulationError
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    seen = []
+    eng.schedule_at(30, lambda: seen.append(30))
+    eng.schedule_at(10, lambda: seen.append(10))
+    eng.schedule_at(20, lambda: seen.append(20))
+    eng.run()
+    assert seen == [10, 20, 30]
+    assert eng.now == 30
+
+
+def test_ties_break_by_insertion_order():
+    eng = Engine()
+    seen = []
+    for i in range(5):
+        eng.schedule_at(7, lambda i=i: seen.append(i))
+    eng.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_schedule_relative_delay():
+    eng = Engine()
+    seen = []
+    eng.schedule(5, lambda: eng.schedule(5, lambda: seen.append(eng.now)))
+    eng.run()
+    assert seen == [10]
+
+
+def test_scheduling_in_past_raises():
+    eng = Engine()
+    eng.schedule_at(10, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.schedule_at(5, lambda: None)
+
+
+def test_negative_delay_raises():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(-1, lambda: None)
+
+
+def test_run_until_stops_clock_at_bound():
+    eng = Engine()
+    seen = []
+    eng.schedule_at(10, lambda: seen.append("a"))
+    eng.schedule_at(100, lambda: seen.append("b"))
+    eng.run(until_ps=50)
+    assert seen == ["a"]
+    assert eng.now == 50
+    eng.run()
+    assert seen == ["a", "b"]
+
+
+def test_max_events_guards_against_livelock():
+    eng = Engine()
+
+    def rearm():
+        eng.schedule(0, rearm)
+
+    eng.schedule(0, rearm)
+    with pytest.raises(SimulationError):
+        eng.run(max_events=100)
+
+
+def test_stop_predicate():
+    eng = Engine()
+    seen = []
+    for t in (1, 2, 3, 4):
+        eng.schedule_at(t, lambda t=t: seen.append(t))
+    eng.run(stop=lambda: len(seen) >= 2)
+    assert seen == [1, 2]
+
+
+def test_step_and_peek():
+    eng = Engine()
+    assert eng.peek_time() is None
+    assert not eng.step()
+    eng.schedule_at(42, lambda: None)
+    assert eng.peek_time() == 42
+    assert eng.step()
+    assert eng.now == 42
+    assert eng.empty()
+
+
+def test_events_processed_counter():
+    eng = Engine()
+    for t in range(10):
+        eng.schedule_at(t, lambda: None)
+    eng.run()
+    assert eng.events_processed == 10
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
+def test_property_clock_monotonic(times):
+    eng = Engine()
+    observed = []
+    for t in times:
+        eng.schedule_at(t, lambda: observed.append(eng.now))
+    eng.run()
+    assert observed == sorted(times)

@@ -1,0 +1,135 @@
+"""Tests for the experiment runner, drivers and reporting."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.experiments import (
+    fig2_coalescing,
+    fig3_divergence,
+    fig8_ipc,
+    table1_merb,
+)
+from repro.analysis.report import bar, format_table, geomean, rows_to_csv
+from repro.analysis.runner import ExperimentRunner
+from repro.core.config import SimConfig
+from repro.workloads.suite import Scale
+
+
+def tiny_runner(**kw) -> ExperimentRunner:
+    return ExperimentRunner(scale=Scale.TINY, seeds=(1,), **kw)
+
+
+# -- report helpers ------------------------------------------------------------
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], ["x", 3.25]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "bb" in lines[2]
+    assert "3.250" in out
+
+
+def test_rows_to_csv():
+    csv_text = rows_to_csv(["x", "y"], [[1, 2], [3, 4]])
+    assert csv_text.splitlines() == ["x,y", "1,2", "3,4"]
+
+
+def test_geomean():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+    assert geomean([0.0, 2.0]) == pytest.approx(2.0)  # non-positives skipped
+
+
+def test_bar():
+    assert bar(2.0, scale=10, maximum=2.0) == "#" * 10
+    assert bar(-1.0) == ""
+
+
+# -- runner ---------------------------------------------------------------------
+def test_runner_rejects_bad_kind():
+    with pytest.raises(ValueError):
+        ExperimentRunner(kind="bogus")
+
+
+def test_runner_memoizes_runs():
+    r = tiny_runner()
+    a = r.run("sad", "gmc", seed=1)
+    b = r.run("sad", "gmc", seed=1)
+    assert a is b  # cached object
+
+
+def test_runner_disk_cache(tmp_path):
+    r1 = ExperimentRunner(scale=Scale.TINY, seeds=(1,), cache_dir=str(tmp_path))
+    a = r1.run("sad", "gmc", seed=1)
+    r2 = ExperimentRunner(scale=Scale.TINY, seeds=(1,), cache_dir=str(tmp_path))
+    b = r2.run("sad", "gmc", seed=1)
+    assert a == b
+    assert any(p.suffix == ".json" for p in tmp_path.iterdir())
+
+
+def test_runner_extras_present():
+    r = tiny_runner()
+    s = r.run("sad", "gmc", seed=1)
+    for key in ("unit_group_frac", "activates", "reads", "writes", "ipc"):
+        assert key in s
+
+
+def test_speedup_is_relative():
+    r = tiny_runner()
+    assert r.speedup("sad", "gmc") == pytest.approx(1.0)
+
+
+def test_seed_spread():
+    r = ExperimentRunner(scale=Scale.TINY, seeds=(1, 2))
+    mean, spread = r.seed_spread("sad", "gmc")
+    assert mean > 0
+    assert spread >= 0
+    one = ExperimentRunner(scale=Scale.TINY, seeds=(1,))
+    assert one.seed_spread("sad", "gmc")[1] == 0.0
+
+
+def test_tagged_runners_do_not_collide(tmp_path):
+    base = ExperimentRunner(scale=Scale.TINY, seeds=(1,), cache_dir=str(tmp_path))
+    alpha = ExperimentRunner(
+        config=dataclasses.replace(
+            SimConfig(), mc=dataclasses.replace(SimConfig().mc, sbwas_alpha=0.25)
+        ),
+        scale=Scale.TINY,
+        seeds=(1,),
+        cache_dir=str(tmp_path),
+        tag="alpha0.25",
+    )
+    base.run("sad", "sbwas", seed=1)
+    alpha.run("sad", "sbwas", seed=1)
+    names = [p.name for p in tmp_path.iterdir()]
+    assert any("alpha0.25" in n for n in names)
+    assert any("alpha0.25" not in n for n in names)
+
+
+# -- drivers ---------------------------------------------------------------------
+def test_table1_driver():
+    res = table1_merb()
+    assert res.rows[0] == [1, 31]
+    assert res.rows[1] == [2, 20]
+    assert "MERB" in res.table
+    assert res.headline["single_bank_util_at_31"] == pytest.approx(0.62, abs=0.005)
+
+
+def test_fig2_fig3_shapes():
+    r = tiny_runner()
+    f2 = fig2_coalescing(r)
+    assert len(f2.rows) == 12  # 11 benchmarks + MEAN
+    assert 0.3 < f2.headline["frac_divergent"] < 0.8
+    assert 3.0 < f2.headline["requests_per_load"] < 9.0
+    f3 = fig3_divergence(r)
+    assert f3.headline["last_over_first"] > 1.0
+    assert 1.0 < f3.headline["channels_per_warp"] < 4.0
+
+
+def test_fig8_normalized_to_gmc():
+    r = tiny_runner()
+    res = fig8_ipc(r, schedulers=("wg",))
+    assert res.rows[-1][0] == "GEOMEAN"
+    assert "speedup_wg" in res.headline
+    for row in res.rows[:-1]:
+        assert row[1] > 0

@@ -1,0 +1,72 @@
+"""Unit tests for the MERB computation (§IV-D, Table I)."""
+
+import pytest
+
+from repro.core.config import DRAMTimingConfig
+from repro.dram.timing import DDR3_TIMING, GDDR5_TIMING
+from repro.mc.merb import MERB_COUNTER_MAX, merb_table, merb_value, single_bank_utilization
+
+
+def test_table1_reproduced_exactly():
+    """The paper's Table I: MERB for GDDR5 by busy-bank count."""
+    table = merb_table(GDDR5_TIMING, 16)
+    assert table[1] == 31
+    assert table[2] == 20
+    assert table[3] == 10
+    assert table[4] == 7
+    assert table[5] == 5
+    for b in range(6, 17):
+        assert table[b] == 5
+
+
+def test_single_bank_case_saturates_counter():
+    assert merb_value(1, GDDR5_TIMING) == MERB_COUNTER_MAX
+
+
+def test_invalid_bank_count():
+    with pytest.raises(ValueError):
+        merb_value(0, GDDR5_TIMING)
+
+
+def test_values_monotonically_nonincreasing():
+    table = merb_table(GDDR5_TIMING, 16)
+    for b in range(2, 16):
+        assert table[b + 1] <= table[b]
+
+
+def test_activate_window_floor_binds_at_many_banks():
+    """For b >= 5 the activate-rate floor max(tRRD, tFAW/4)/tBURST binds
+    (5 bursts on GDDR5), so adding banks stops reducing MERB."""
+    assert merb_value(5, GDDR5_TIMING) == merb_value(16, GDDR5_TIMING) == 5
+    # Whereas at b=2..4 the row-cycle term dominates and shrinks with b.
+    assert merb_value(2, GDDR5_TIMING) > merb_value(3, GDDR5_TIMING)
+
+
+def test_ddr3_table_differs():
+    """The MERB table is technology-specific: DDR3's slower tFAW and wider
+    bursts change every entry, which is why the paper computes it at boot."""
+    assert merb_table(DDR3_TIMING, 8) != merb_table(GDDR5_TIMING, 8)
+
+
+def test_single_bank_utilization_62_percent():
+    """§IV-D: 31 hits per activate delivers ~62% utilization on GDDR5."""
+    assert single_bank_utilization(31, GDDR5_TIMING) == pytest.approx(0.62, abs=0.005)
+
+
+def test_utilization_increases_with_streak_length():
+    prev = 0.0
+    for n in (1, 2, 4, 8, 16, 32):
+        u = single_bank_utilization(n, GDDR5_TIMING)
+        assert u > prev
+        prev = u
+    assert prev < 1.0
+
+
+def test_utilization_rejects_zero():
+    with pytest.raises(ValueError):
+        single_bank_utilization(0, GDDR5_TIMING)
+
+
+def test_values_clamped_to_counter_width():
+    slow = DRAMTimingConfig(trp_ns=400.0, trcd_ns=400.0)
+    assert merb_value(2, slow) == MERB_COUNTER_MAX

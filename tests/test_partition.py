@@ -1,0 +1,165 @@
+"""Unit tests for the memory partition (L2 slice + controller glue)."""
+
+import pytest
+
+from repro.core.config import SimConfig
+from repro.core.engine import Engine
+from repro.core.request import LoadTransaction, MemoryRequest
+from repro.core.stats import SimStats
+from repro.gpu.address_map import AddressMap
+from repro.gpu.partition import MemoryPartition
+
+
+class FakeMC:
+    """Captures what the partition forwards to the controller."""
+
+    def __init__(self):
+        self.reads = []
+        self.writes = []
+
+    def receive_read(self, req):
+        self.reads.append(req)
+
+    def receive_write(self, req):
+        self.writes.append(req)
+
+
+def build(part_id: int = 0, use_l2: bool = True):
+    import dataclasses
+
+    cfg = SimConfig()
+    if not use_l2:
+        cfg = dataclasses.replace(cfg, use_l2=False)
+    eng = Engine()
+    amap = AddressMap(cfg.dram_org)
+    stats = SimStats(cfg.dram_org.num_channels)
+    replies = []
+    part = MemoryPartition(eng, part_id, cfg, amap, replies.append, stats)
+    part.mc = FakeMC()
+    return eng, amap, part, replies
+
+
+def read_req(amap, part_id: int, bank=0, row=0, col=0):
+    addr = amap.compose(part_id, bank, row, col)
+    req = MemoryRequest(addr=addr, is_write=False, sm_id=0, warp_id=0)
+    amap.route(req)
+    return req
+
+
+def test_cold_miss_forwards_to_mc():
+    eng, amap, part, replies = build()
+    req = read_req(amap, 0)
+    part.receive(req)
+    eng.run()
+    assert part.mc.reads == [req]
+    assert replies == []
+
+
+def test_fill_then_hit():
+    eng, amap, part, replies = build()
+    req = read_req(amap, 0)
+    part.receive(req)
+    eng.run()
+    part.on_dram_data(req)  # fill
+    assert replies == [req]
+    again = read_req(amap, 0)
+    part.receive(again)
+    eng.run()
+    assert again.serviced_by == "l2"
+    assert replies == [req, again]
+    assert part.mc.reads == [req]  # no second DRAM read
+
+
+def test_mshr_merges_concurrent_misses():
+    eng, amap, part, replies = build()
+    a = read_req(amap, 0)
+    b = read_req(amap, 0)  # same line
+    part.receive(a)
+    part.receive(b)
+    eng.run()
+    assert part.mc.reads == [a]  # b merged
+    part.on_dram_data(a)
+    assert set(replies) == {a, b}
+
+
+def test_write_allocates_dirty_and_evicts_to_dram():
+    eng, amap, part, replies = build()
+    cfg = SimConfig()
+    sets = cfg.gpu.l2_slice.num_sets
+    ways = cfg.gpu.l2_slice.ways
+    # Collect channel-0 lines that all map to L2 set 0, enough to overflow
+    # the set's associativity with dirty lines.
+    addrs = []
+    i = 0
+    while len(addrs) < ways + 4:
+        addr = i * sets * 128  # same set index
+        i += 1
+        if amap.channel_of(addr) == 0:
+            addrs.append(addr)
+    for addr in addrs:
+        w = MemoryRequest(addr=addr, is_write=True, sm_id=0, warp_id=0)
+        amap.route(w)
+        part.receive(w)
+    eng.run()
+    assert part.writebacks >= 4
+    assert all(w.is_write for w in part.mc.writes)
+
+
+def test_write_hit_absorbed():
+    eng, amap, part, replies = build()
+    w1 = MemoryRequest(addr=amap.compose(0, 0, 1, 0), is_write=True, sm_id=0, warp_id=0)
+    amap.route(w1)
+    w2 = MemoryRequest(addr=w1.addr, is_write=True, sm_id=0, warp_id=0)
+    amap.route(w2)
+    part.receive(w1)
+    part.receive(w2)
+    eng.run()
+    assert part.mc.writes == []
+    assert part.writebacks == 0
+
+
+def test_l2_disabled_passthrough():
+    eng, amap, part, replies = build(use_l2=False)
+    req = read_req(amap, 0)
+    part.receive(req)
+    eng.run()
+    assert part.mc.reads == [req]
+    part.on_dram_data(req)
+    assert replies == [req]
+    w = MemoryRequest(addr=amap.compose(0, 1, 1, 0), is_write=True, sm_id=0, warp_id=0)
+    amap.route(w)
+    part.receive(w)
+    eng.run()
+    assert part.mc.writes == [w]
+
+
+def test_lookup_latency_applied():
+    eng, amap, part, replies = build()
+    req = read_req(amap, 0)
+    part.receive(req)
+    assert part.mc.reads == []  # not before the L2 lookup latency
+    eng.run()
+    assert part.mc.reads == [req]
+    assert eng.now >= part.l2_lat_ps
+
+
+def test_transaction_resolution_on_l2_hit():
+    eng, amap, part, replies = build()
+    req = read_req(amap, 0)
+    part.receive(req)
+    eng.run()
+    part.on_dram_data(req)
+    fired = []
+    txn = LoadTransaction(
+        0, 0, n_requests=1, t_issue=0,
+        on_group_complete=lambda ch, key, n: fired.append(ch),
+    )
+    again = read_req(amap, 0)
+    again.transaction = txn
+    txn.note_dispatched(0)
+    txn.finish_dispatch()
+    part.receive(again)
+    eng.run()
+    # L2 hit -> resolved with to_dram False -> no group anywhere.
+    assert fired == []
+    assert again.serviced_by == "l2"

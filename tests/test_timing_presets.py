@@ -1,0 +1,60 @@
+"""Tests for DRAM timing presets and the DDR3 ablation configuration."""
+
+from repro.core.config import DRAMOrgConfig
+from repro.dram.channel import Channel
+from repro.dram.timing import DDR3_TIMING, GDDR5_ORG, GDDR5_TIMING, ddr3_org
+
+
+def test_gddr5_org_matches_table2():
+    assert GDDR5_ORG.num_channels == 6
+    assert GDDR5_ORG.banks_per_channel == 16
+    assert GDDR5_ORG.banks_per_group == 4
+
+
+def test_ddr3_is_slower_where_it_matters():
+    assert DDR3_TIMING.tck_ns > GDDR5_TIMING.tck_ns
+    assert DDR3_TIMING.tfaw_ns > GDDR5_TIMING.tfaw_ns
+    # DDR3 has no bank-group advantage.
+    assert DDR3_TIMING.tccdl_ck == DDR3_TIMING.tccds_ck
+
+
+def test_ddr3_org_has_8_flat_banks():
+    org = ddr3_org()
+    assert org.banks_per_channel == 8
+    assert org.num_bank_groups == 1
+
+
+def test_ddr3_channel_runs():
+    org = ddr3_org(num_channels=1)
+    ch = Channel(org, DDR3_TIMING)
+    t = ch.earliest_act(0, 0)
+    ch.issue_act(0, 3, t)
+    tc = ch.earliest_col(0, False, t)
+    end = ch.issue_col(0, False, tc)
+    assert end > tc > t >= 0
+
+
+def test_bursts_per_access_scales_with_line_size():
+    wide = DRAMOrgConfig(bytes_per_burst=128)
+    assert wide.bursts_per_access == 1
+    assert GDDR5_ORG.bursts_per_access == 2
+
+
+def test_single_channel_throughput_bound():
+    """A saturated GDDR5 channel moves one 128B line per 4 tCK."""
+    org = ddr3_org(num_channels=1)  # shape irrelevant; use GDDR5 timing
+    ch = Channel(GDDR5_ORG, GDDR5_TIMING)
+    t = ch.earliest_act(0, 1, )
+    ch.issue_act(0, 1, t)
+    now = ch.banks[0].earliest_col
+    starts = []
+    for _ in range(10):
+        tc = ch.earliest_col(0, False, now)
+        ch.issue_col(0, False, tc)
+        starts.append(tc)
+        now = tc
+    gaps = [b - a for a, b in zip(starts, starts[1:])]
+    burst = GDDR5_ORG.bursts_per_access * GDDR5_TIMING.tburst_ps
+    assert all(g >= burst for g in gaps)
+    # Back-to-back row hits reach full bus occupancy (no extra bubbles).
+    assert min(gaps) == burst

@@ -1,0 +1,109 @@
+"""Unit tests for trace containers, builders and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.builder import ELEM_BYTES, Layout, TraceBuilder, WarpBuilder, chunk_lanes
+from repro.workloads.trace import KernelTrace, MemOp, Segment, WarpTrace
+
+
+def test_segment_instruction_count():
+    assert Segment(5, None).instructions == 5
+    assert Segment(5, MemOp(False, [0])).instructions == 6
+
+
+def test_warp_trace_accounting():
+    w = WarpTrace(0, 0, [
+        Segment(3, MemOp(False, [0, 4])),
+        Segment(2, MemOp(True, [8])),
+        Segment(4, None),
+    ])
+    assert w.instructions() == 11
+    assert w.memory_ops() == 2
+    assert len(list(w.loads())) == 1
+
+
+def test_kernel_by_sm_buckets_and_validation():
+    k = KernelTrace("t", [WarpTrace(0, 0, []), WarpTrace(1, 0, []), WarpTrace(0, 1, [])])
+    buckets = k.by_sm(2)
+    assert len(buckets[0]) == 2 and len(buckets[1]) == 1
+    with pytest.raises(ValueError):
+        k.by_sm(1)
+
+
+def test_save_load_roundtrip(tmp_path):
+    mem = MemOp(False, [100, None, 204] + [None] * 29)
+    k = KernelTrace("demo", [
+        WarpTrace(0, 0, [Segment(7, mem), Segment(2, None)]),
+        WarpTrace(1, 3, [Segment(0, MemOp(True, [4096 + 4 * i for i in range(32)]))]),
+    ])
+    path = str(tmp_path / "trace.npz")
+    k.save(path)
+    loaded = KernelTrace.load(path)
+    assert loaded.name == "demo"
+    assert loaded.total_instructions() == k.total_instructions()
+    assert loaded.total_memory_ops() == k.total_memory_ops()
+    w0 = loaded.warps[0]
+    assert w0.segments[0].mem.lane_addrs[:3] == [100, None, 204]
+    assert loaded.warps[1].segments[0].mem.is_write
+
+
+# -- builders -----------------------------------------------------------------
+def test_layout_allocates_aligned_and_tracks():
+    lay = Layout()
+    a = lay.alloc("a", 100)
+    b = lay.alloc("b", 10)
+    assert a % 256 == 0 and b % 256 == 0
+    assert b >= a + 100 * ELEM_BYTES
+    assert set(lay.arrays) == {"a", "b"}
+
+
+def test_layout_overflow():
+    lay = Layout(capacity=1024)
+    with pytest.raises(MemoryError):
+        lay.alloc("big", 10_000)
+
+
+def test_warp_builder_stream_and_compute():
+    wb = WarpBuilder(0, 0)
+    wb.compute(5).load_stream(0, 0).compute(3).store_stream(4096, 0)
+    trace = wb.finish()
+    assert len(trace.segments) == 2
+    assert trace.segments[0].compute_cycles == 5
+    assert not trace.segments[0].mem.is_write
+    assert trace.segments[1].mem.is_write
+    # A stream covers consecutive 4B elements.
+    lanes = trace.segments[0].mem.lane_addrs
+    assert lanes == [4 * i for i in range(32)]
+
+
+def test_warp_builder_gather_masks_missing_lanes():
+    wb = WarpBuilder(0, 0)
+    wb.load_gather(0, [1, None, 5])
+    seg = wb.finish().segments[0]
+    assert seg.mem.lane_addrs[0] == 4
+    assert seg.mem.lane_addrs[1] is None
+    assert seg.mem.lane_addrs[3] is None  # beyond provided indices
+
+
+def test_warp_builder_trailing_compute_flushed():
+    wb = WarpBuilder(0, 0)
+    wb.compute(9)
+    trace = wb.finish()
+    assert trace.segments[-1].compute_cycles == 9
+    assert trace.segments[-1].mem is None
+
+
+def test_trace_builder_round_robin_sm_assignment():
+    tb = TraceBuilder("t", num_sms=3)
+    for _ in range(7):
+        tb.new_warp().compute(1)
+    k = tb.build()
+    assert [w.sm_id for w in k.warps] == [0, 1, 2, 0, 1, 2, 0]
+    # Per-SM warp ids are dense.
+    assert [w.warp_id for w in k.warps] == [0, 0, 0, 1, 1, 1, 2]
+
+
+def test_chunk_lanes():
+    chunks = chunk_lanes(np.arange(70))
+    assert [len(c) for c in chunks] == [32, 32, 6]

@@ -1,0 +1,173 @@
+"""Behavioral tests for WG-M coordination, WG-Bw MERB gating and WG-W
+write-aware draining."""
+
+import dataclasses
+
+from repro.core.config import SimConfig
+from repro.core.engine import Engine
+from repro.core.stats import ChannelStats
+from repro.mc.coordination import CoordinationNetwork
+from repro.mc.registry import controller_class
+
+from helpers import MCHarness, make_request
+from test_schedulers import send_group
+
+
+# ---------------------------------------------------------------------------
+# WG-M coordination (§IV-C)
+# ---------------------------------------------------------------------------
+def build_pair(scheduler: str = "wg-m"):
+    cfg = SimConfig()
+    eng = Engine()
+    net = CoordinationNetwork(eng)
+    mcs, stats, delivered = [], [], []
+    for ch in range(2):
+        st = ChannelStats()
+        mc = controller_class(scheduler)(eng, ch, cfg, st, delivered.append)
+        mc.attach_network(net)
+        mcs.append(mc)
+        stats.append(st)
+    return eng, net, mcs, stats, delivered
+
+
+def test_selection_broadcasts_to_peers():
+    eng, net, mcs, stats, _ = build_pair()
+    req = make_request(bank=0, row=1, warp_id=1)
+    mcs[0].receive_read(req)
+    eng.run(max_events=100_000)
+    assert stats[0].coordination_msgs_sent == 1
+    assert net.messages_sent == 1
+
+
+def test_remote_score_discount_promotes_laggard_group():
+    eng, net, mcs, stats, _ = build_pair()
+    from repro.core.request import LoadTransaction
+
+    # Backlog of foreign singleton groups on channel 1, bank 0, at t=0.
+    backlog = []
+    for i in range(8):
+        r = make_request(bank=0, row=10 + i, warp_id=50 + i, channel=1)
+        mcs[1].receive_read(r)
+        backlog.append(r)
+
+    r0 = make_request(bank=0, row=1, warp_id=1, channel=0)
+    r1 = make_request(bank=0, row=99, warp_id=1, channel=1)
+
+    def inject_warp1():
+        # Warp 1 spans both channels, arriving after the backlog has
+        # occupied channel 1's command queues.
+        txn = LoadTransaction(
+            0, 1, n_requests=2, t_issue=eng.now,
+            on_group_complete=lambda ch, key, n: mcs[ch].receive_group_complete(key, n),
+        )
+        for r, ch in ((r0, 0), (r1, 1)):
+            r.transaction = txn
+            txn.note_dispatched(ch)
+        mcs[0].receive_read(r0)
+        mcs[1].receive_read(r1)
+        txn.finish_dispatch()
+
+    eng.schedule_at(2000, inject_warp1)
+    eng.run(max_events=300_000)
+    # Channel 0 selects warp 1 immediately (its only group), broadcasts a
+    # low score; channel 1 — where the group would otherwise wait behind
+    # the backlog — applies the discount and promotes it.
+    assert stats[1].coordination_msgs_applied >= 1
+    assert r1.t_scheduled < max(b.t_scheduled for b in backlog)
+    assert r0.t_data > 0 and r1.t_data > 0
+
+
+def test_discount_ignored_when_local_score_lower():
+    eng, net, mcs, stats, _ = build_pair()
+    # A message about a warp the peer doesn't hold is a no-op.
+    mcs[1].receive_coordination((0, 123), remote_score=5)
+    assert stats[1].coordination_msgs_applied == 0
+
+
+# ---------------------------------------------------------------------------
+# WG-Bw MERB gate (§IV-D)
+# ---------------------------------------------------------------------------
+def test_merb_gate_defers_row_miss_behind_pending_hits(harness):
+    h = harness("wg-bw")
+    # Prime bank 0 on row 1 via an initial group.
+    send_group(h, warp_id=1, specs=[(0, 1)])
+    h.run()
+    h.delivered.clear()
+    # Pending row hits from an incomplete background warp...
+    from repro.core.request import LoadTransaction
+
+    bg = LoadTransaction(
+        0, 9, n_requests=8, t_issue=h.engine.now,
+        on_group_complete=lambda ch, key, n: h.mc.receive_group_complete(key, n),
+    )
+    hit_reqs = []
+    for i in range(6):
+        r = make_request(bank=0, row=1, col=i, warp_id=9)
+        r.transaction = bg
+        bg.note_dispatched(0)
+        h.mc.receive_read(r)
+        hit_reqs.append(r)
+    # ...and a complete single-request group that misses the row.
+    miss = send_group(h, warp_id=2, specs=[(0, 77)])[0]
+    h.run(max_events=200_000)
+    # The MERB gate schedules (some of) the pending hits before the miss.
+    assert h.stats.merb_deferrals > 0
+    serviced_before_miss = sum(1 for r in hit_reqs if 0 < r.t_data < miss.t_data)
+    assert serviced_before_miss > 0
+
+
+def test_orphan_control_rescues_stranded_hits():
+    """Direct-state test of the orphan rule: when the MERB threshold is
+    already met and only 1-2 hits remain on the open row, they are
+    scheduled ahead of the row change."""
+    h = MCHarness("wg-bw")
+    mc = h.mc
+    # Bank 0's queue tail is on row 1 with a saturated hit counter (the
+    # MERB threshold can't defer further), other banks busy.
+    mc.cq.last_sched_row[0] = 1
+    mc.cq.hits_since_row_change[0] = 31
+    # Two stranded row-1 hits from an incomplete background group.
+    from repro.core.request import LoadTransaction
+
+    bg = LoadTransaction(0, 9, n_requests=4, t_issue=0)
+    orphans = []
+    for i in range(2):
+        r = make_request(bank=0, row=1, col=i, warp_id=9)
+        r.transaction = bg
+        mc.sorter.add(r, 0)
+        orphans.append(r)
+    # Insert a row-miss request: orphan control must pull both hits first.
+    miss = make_request(bank=0, row=77, warp_id=2)
+    miss.transaction = LoadTransaction(0, 2, n_requests=1, t_issue=0)
+    mc.sorter.add(miss, 0)
+    mc._insert_request(miss, 0)
+    assert h.stats.orphan_rescues == 2
+    order = [e.req for e in mc.cq.queues[0]]
+    assert order == orphans + [miss]
+
+
+# ---------------------------------------------------------------------------
+# WG-W write-aware drain (§IV-E)
+# ---------------------------------------------------------------------------
+def test_wgw_promotes_unit_groups_near_drain(harness):
+    h = harness("wg-w")
+    guard = h.config.mc.write_high_watermark - h.config.mc.wgw_drain_guard_entries
+    # Fill the write queue up to the guard band (no drain yet).
+    for i in range(guard):
+        h.write(bank=4 + i % 4, row=i)
+    # A big low-priority group and a unit-size group with a *worse* score.
+    big = send_group(h, warp_id=1, specs=[(0, 1), (0, 1), (0, 1)])
+    unit = send_group(h, warp_id=2, specs=[(0, 50)])[0]  # row miss: higher score
+    h.run(max_events=400_000)
+    assert h.stats.wgw_promotions >= 1
+    assert unit.t_scheduled <= min(r.t_scheduled for r in big)
+
+
+def test_wgw_behaves_like_wgbw_without_write_pressure(harness):
+    ha, hb = harness("wg-w"), harness("wg-bw")
+    for h in (ha, hb):
+        send_group(h, warp_id=1, specs=[(0, 1), (1, 2)])
+        send_group(h, warp_id=2, specs=[(0, 3)])
+        h.run()
+    assert [r.t_data for r in ha.delivered] == [r.t_data for r in hb.delivered]
+    assert ha.stats.wgw_promotions == 0
