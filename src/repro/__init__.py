@@ -28,6 +28,7 @@ from repro.core.config import (
 from repro.core.stats import SimStats
 from repro.gpu.system import GPUSystem, simulate
 from repro.mc.registry import PAPER_SCHEDULERS, SCHEDULERS
+from repro.telemetry import TelemetryHub
 from repro.workloads.profiles import (
     ALL_PROFILES,
     IRREGULAR_BENCHMARKS,
@@ -57,6 +58,7 @@ __all__ = [
     "Segment",
     "SimConfig",
     "SimStats",
+    "TelemetryHub",
     "WarpTrace",
     "benchmark_names",
     "build_benchmark",

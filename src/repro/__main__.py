@@ -3,7 +3,11 @@
 Subcommands:
 
 * ``run BENCH``   — simulate one benchmark under one scheduler and print
-  the summary metrics;
+  the summary metrics (``--json`` for machine-readable output;
+  ``--metrics-out`` / ``--trace-out`` to export telemetry);
+* ``trace BENCH`` — run with full telemetry (interval metrics, request
+  lifecycle trace, engine profile) and write a Chrome trace-event JSON
+  loadable in Perfetto;
 * ``compare BENCH`` — all schedulers on one benchmark;
 * ``reproduce``   — regenerate the paper's tables and figures;
 * ``list``        — available benchmarks and schedulers.
@@ -12,6 +16,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import repro.idealized  # noqa: F401  (registers zero-div)
@@ -26,6 +31,7 @@ from repro import (
     synthetic_trace,
 )
 from repro.analysis import format_table, run_all
+from repro.telemetry import TelemetryHub
 
 
 def _trace(args, cfg):
@@ -39,11 +45,70 @@ def _trace(args, cfg):
     )
 
 
+def _make_hub(args, force: bool = False) -> TelemetryHub | None:
+    """A hub matching the telemetry flags, or None when everything is off."""
+    want_trace = force or args.trace_out is not None
+    want_sample = force or args.metrics_out is not None or want_trace
+    want_profile = force or getattr(args, "profile", False)
+    if not (want_trace or want_sample or want_profile):
+        return None
+    return TelemetryHub(
+        sample_period_ns=args.metrics_period if want_sample else 0.0,
+        trace=want_trace,
+        profile=want_profile,
+    )
+
+
+def _report_run(stats, hub: TelemetryHub | None) -> None:
+    """Wall-clock profiling summary, printed at the end of every run.
+
+    Goes to stderr so ``--json`` / metrics output on stdout stays clean.
+    """
+    rate = stats.events_processed / stats.wall_seconds if stats.wall_seconds else 0.0
+    print(
+        f"[repro] {stats.events_processed} events in {stats.wall_seconds:.2f} s "
+        f"({rate / 1000.0:.0f}k events/s)",
+        file=sys.stderr,
+    )
+    if hub is not None and hub.profiler is not None:
+        print(hub.profiler.format(), file=sys.stderr)
+
+
+def _write_outputs(args, stats, hub: TelemetryHub | None) -> None:
+    if getattr(args, "metrics_out", None):
+        stats.write_metrics(args.metrics_out)
+        print(f"[repro] interval metrics -> {args.metrics_out}", file=sys.stderr)
+    if getattr(args, "trace_out", None) and hub is not None and hub.tracer is not None:
+        hub.tracer.write(args.trace_out, stats.intervals)
+        print(
+            f"[repro] chrome trace -> {args.trace_out} "
+            "(open at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+
+
 def cmd_run(args) -> int:
     cfg = SimConfig(scheduler=args.scheduler)
-    stats = simulate(cfg, _trace(args, cfg))
-    for key, value in stats.summary().items():
-        print(f"{key:24s} {value:.4f}")
+    hub = _make_hub(args)
+    stats = simulate(cfg, _trace(args, cfg), telemetry=hub)
+    if args.json:
+        print(json.dumps(stats.summary(), indent=2))
+    else:
+        for key, value in stats.summary().items():
+            print(f"{key:24s} {value:.4f}")
+    _write_outputs(args, stats, hub)
+    _report_run(stats, hub)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    if args.trace_out is None:
+        args.trace_out = "trace.json"
+    cfg = SimConfig(scheduler=args.scheduler)
+    hub = _make_hub(args, force=True)
+    stats = simulate(cfg, _trace(args, cfg), telemetry=hub)
+    _write_outputs(args, stats, hub)
+    _report_run(stats, hub)
     return 0
 
 
@@ -93,11 +158,41 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--kind", default="synthetic",
                        choices=["synthetic", "algorithmic"])
 
+    def positive_ns(text: str) -> float:
+        period = float(text)
+        if period <= 0:
+            raise argparse.ArgumentTypeError(
+                f"sampling period must be > 0 ns, got {text}"
+            )
+        return period
+
+    def telemetry_flags(p):
+        p.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write interval metrics (JSON, or CSV for .csv)")
+        p.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON (Perfetto)")
+        p.add_argument("--metrics-period", type=positive_ns, default=100.0,
+                       metavar="NS", help="sampling period in ns (default 100)")
+
     p_run = sub.add_parser("run", help="simulate one benchmark")
     p_run.add_argument("benchmark", choices=sorted(benchmark_names()))
     p_run.add_argument("--scheduler", default="wg-w", choices=sorted(SCHEDULERS))
     common(p_run)
+    telemetry_flags(p_run)
+    p_run.add_argument("--json", action="store_true",
+                       help="print the summary as JSON instead of a table")
+    p_run.add_argument("--profile", action="store_true",
+                       help="attribute wall-clock time to model components")
     p_run.set_defaults(fn=cmd_run)
+
+    p_tr = sub.add_parser(
+        "trace", help="run one benchmark with full telemetry enabled"
+    )
+    p_tr.add_argument("benchmark", choices=sorted(benchmark_names()))
+    p_tr.add_argument("--scheduler", default="wg-w", choices=sorted(SCHEDULERS))
+    common(p_tr)
+    telemetry_flags(p_tr)
+    p_tr.set_defaults(fn=cmd_trace)
 
     p_cmp = sub.add_parser("compare", help="all paper schedulers on a benchmark")
     p_cmp.add_argument("benchmark", choices=sorted(benchmark_names()))

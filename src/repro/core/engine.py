@@ -12,6 +12,7 @@ deterministic for a given seed.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable, Optional
 
 __all__ = ["Engine", "SimulationError"]
@@ -28,9 +29,14 @@ class Engine:
     ----------
     now:
         Current simulation time in picoseconds.
+    profiler:
+        Optional :class:`repro.telemetry.profiler.EngineProfiler` (any
+        object with a ``note(fn, seconds)`` method).  When set, every
+        callback is timed and attributed to its component; when ``None``
+        (the default) the only cost is one identity check per event.
     """
 
-    __slots__ = ("now", "_queue", "_seq", "_running", "events_processed")
+    __slots__ = ("now", "_queue", "_seq", "_running", "events_processed", "profiler")
 
     def __init__(self) -> None:
         self.now: int = 0
@@ -38,6 +44,7 @@ class Engine:
         self._seq: int = 0
         self._running = False
         self.events_processed: int = 0
+        self.profiler = None
 
     def schedule(self, delay_ps: int, fn: Callable[[], None]) -> None:
         """Run ``fn`` ``delay_ps`` picoseconds from now (delay >= 0)."""
@@ -65,7 +72,12 @@ class Engine:
         time_ps, _, fn = heapq.heappop(self._queue)
         self.now = time_ps
         self.events_processed += 1
-        fn()
+        if self.profiler is None:
+            fn()
+        else:
+            t0 = perf_counter()
+            fn()
+            self.profiler.note(fn, perf_counter() - t0)
         return True
 
     def run(

@@ -20,9 +20,17 @@ __all__ = ["Histogram", "ChannelStats", "LoadRecord", "SimStats"]
 
 
 class Histogram:
-    """Streaming mean/min/max with a bounded reservoir for percentiles."""
+    """Streaming mean/min/max with a bounded reservoir for percentiles.
 
-    __slots__ = ("count", "total", "min", "max", "_reservoir", "_capacity", "_rng")
+    The sorted reservoir is cached between :meth:`percentile` calls and
+    invalidated by :meth:`add` / :meth:`merge`, so reading several
+    percentiles off a settled histogram sorts once.
+    """
+
+    __slots__ = (
+        "count", "total", "min", "max", "_reservoir", "_capacity", "_rng",
+        "_sorted",
+    )
 
     def __init__(self, capacity: int = 4096, seed: int = 12345) -> None:
         self.count = 0
@@ -32,10 +40,12 @@ class Histogram:
         self._reservoir: list[float] = []
         self._capacity = capacity
         self._rng = random.Random(seed)
+        self._sorted: Optional[list[float]] = None
 
     def add(self, value: float) -> None:
         self.count += 1
         self.total += value
+        self._sorted = None
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
@@ -51,6 +61,40 @@ class Histogram:
         for v in values:
             self.add(v)
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram; returns ``self``.
+
+        Count/sum/min/max combine exactly.  The merged reservoir keeps
+        every sample when the union fits ``capacity``; otherwise each
+        source contributes slots proportional to the *population* it
+        represents (``count``, not reservoir length), chosen with this
+        histogram's seeded generator — so merging the same sequence of
+        interval histograms into a run total is fully reproducible.
+        """
+        if other.count == 0:
+            return self
+        self.total += other.total
+        if self.min is None or (other.min is not None and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None and other.max > self.max):
+            self.max = other.max
+        mine, theirs = self._reservoir, other._reservoir
+        cap = self._capacity
+        if len(mine) + len(theirs) <= cap:
+            mine.extend(theirs)
+        else:
+            n_total = self.count + other.count
+            k_self = round(cap * self.count / n_total)
+            # Clamp so both shares are satisfiable from the actual pools.
+            k_self = max(cap - len(theirs), min(len(mine), k_self))
+            k_other = cap - k_self
+            self._reservoir = (
+                self._rng.sample(mine, k_self) + self._rng.sample(theirs, k_other)
+            )
+        self.count += other.count
+        self._sorted = None
+        return self
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -59,7 +103,9 @@ class Histogram:
         """Approximate percentile from the reservoir (q in [0, 100])."""
         if not self._reservoir:
             return 0.0
-        data = sorted(self._reservoir)
+        if self._sorted is None:
+            self._sorted = sorted(self._reservoir)
+        data = self._sorted
         idx = min(len(data) - 1, max(0, int(round(q / 100.0 * (len(data) - 1)))))
         return data[idx]
 
@@ -102,7 +148,15 @@ class ChannelStats:
         self.bank_columns[bank] += 1
 
     def bank_imbalance(self) -> float:
-        """max/mean per-bank column accesses (1.0 = perfectly balanced)."""
+        """Max over mean per-bank column accesses, **busy banks only**.
+
+        Banks that saw zero column accesses are excluded from the mean:
+        the metric measures how unevenly traffic spreads across the banks
+        a workload actually uses, not how many banks it touches.  A
+        workload hammering 4 of 16 banks *equally* therefore reports 1.0
+        (perfectly balanced among its banks), and 1.0 is also returned
+        when no bank saw any traffic.
+        """
         busy = [c for c in self.bank_columns if c > 0]
         if not busy:
             return 1.0
@@ -175,6 +229,12 @@ class SimStats:
         self.l1_hits = 0
         self.l2_hits = 0
         self.elapsed_ps = 0
+        # Observability side-channels (not part of summary(): its key set
+        # and values are pinned by the telemetry non-perturbation tests).
+        self.intervals: list[dict] = []  # IntervalSampler time-series
+        self.interval_period_ps = 0
+        self.events_processed = 0  # engine events of the producing run
+        self.wall_seconds = 0.0  # host wall-clock of the producing run
 
     # -- recording ----------------------------------------------------------
     def record_load(self, rec: LoadRecord) -> None:
@@ -277,3 +337,67 @@ class SimStats:
             "l2_hits": float(self.l2_hits),
             "requests_issued": float(self.requests_issued),
         }
+
+    # -- metrics export -------------------------------------------------------
+    def metrics_dict(self) -> dict:
+        """Machine-readable bundle: summary + interval time-series.
+
+        Schema (stable; version bumps on breaking changes)::
+
+            {"schema_version": 1,
+             "summary": {...},                # exactly summary()
+             "events_processed": int,
+             "wall_seconds": float,
+             "interval_period_ps": int,
+             "intervals": [{...}, ...]}       # IntervalSampler.SCHEMA_KEYS
+        """
+        return {
+            "schema_version": 1,
+            "summary": self.summary(),
+            "events_processed": self.events_processed,
+            "wall_seconds": self.wall_seconds,
+            "interval_period_ps": self.interval_period_ps,
+            "intervals": self.intervals,
+        }
+
+    def intervals_csv(self) -> str:
+        """The interval time-series as CSV, one row per sample.
+
+        List-valued fields are flattened with an index suffix
+        (``queue_depth_0`` … per channel; ``bank_occupancy_1_4`` for
+        channel 1, bank 4).
+        """
+        if not self.intervals:
+            return ""
+
+        def flatten(sample: dict) -> dict[str, object]:
+            flat: dict[str, object] = {}
+            for key, value in sample.items():
+                if isinstance(value, list):
+                    for i, v in enumerate(value):
+                        if isinstance(v, list):
+                            for j, vv in enumerate(v):
+                                flat[f"{key}_{i}_{j}"] = vv
+                        else:
+                            flat[f"{key}_{i}"] = v
+                else:
+                    flat[key] = value
+            return flat
+
+        rows = [flatten(s) for s in self.intervals]
+        header = list(rows[0])
+        lines = [",".join(header)]
+        for row in rows:
+            lines.append(",".join(str(row.get(col, "")) for col in header))
+        return "\n".join(lines) + "\n"
+
+    def write_metrics(self, path: str) -> None:
+        """Write the metrics bundle to ``path`` (JSON, or CSV for ``.csv``)."""
+        if path.endswith(".csv"):
+            with open(path, "w") as fh:
+                fh.write(self.intervals_csv())
+            return
+        import json
+
+        with open(path, "w") as fh:
+            json.dump(self.metrics_dict(), fh, indent=1)

@@ -44,6 +44,8 @@ class Bank:
         "pres",
         "col_reads",
         "col_writes",
+        "probe",
+        "probe_ctx",
     )
 
     def __init__(self, index: int, group: int) -> None:
@@ -61,6 +63,9 @@ class Bank:
         self.pres = 0
         self.col_reads = 0
         self.col_writes = 0
+        # Telemetry: row-hit-streak probe, wired by Channel.attach_probes.
+        self.probe = None
+        self.probe_ctx = -1
 
     # -- state transitions ----------------------------------------------------
     def do_activate(self, now: int, row: int, t: DRAMTimingConfig) -> None:
@@ -68,6 +73,9 @@ class Bank:
             raise RuntimeError(f"bank {self.index}: ACT with row {self.open_row} open")
         if now < self.earliest_act:
             raise RuntimeError(f"bank {self.index}: ACT at {now} before {self.earliest_act}")
+        if self.probe and self.acts:
+            # This ACT closes the previous activation's row-hit streak.
+            self.probe.emit(self.probe_ctx, self.index, self.hits_since_act)
         self.open_row = row
         self.last_act_ps = now
         self.hits_since_act = 0

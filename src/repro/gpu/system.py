@@ -10,6 +10,7 @@ experiment harness::
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional
 
 from repro.core.config import SimConfig
@@ -24,21 +25,40 @@ from repro.gpu.sm import SMCore
 from repro.gpu.warp import WarpState
 from repro.mc.coordination import CoordinationNetwork
 from repro.mc.registry import controller_class, coordinated_schedulers
+from repro.telemetry.hub import NULL_PROBE, TelemetryHub
+from repro.telemetry.sampler import IntervalSampler
 from repro.workloads.trace import KernelTrace
 
 __all__ = ["GPUSystem", "simulate"]
 
 
 class GPUSystem:
-    """A fully wired GPU + memory system executing one kernel trace."""
+    """A fully wired GPU + memory system executing one kernel trace.
 
-    def __init__(self, config: SimConfig, kernel: KernelTrace) -> None:
+    ``telemetry`` is an optional :class:`~repro.telemetry.TelemetryHub`;
+    when omitted (the default) no probe, sampler, tracer or profiler is
+    wired and the simulation path is byte-for-byte the untelemetered one.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        kernel: KernelTrace,
+        telemetry: Optional[TelemetryHub] = None,
+    ) -> None:
         self.config = config
         self.kernel = kernel
         self.engine = Engine()
         self.amap = AddressMap(config.dram_org)
         self.stats = SimStats(config.dram_org.num_channels)
         self.coal_stats = CoalescerStats()
+        self.telemetry = telemetry
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        self._p_warp_done = (
+            telemetry.probe("gpu.warp_done") if telemetry is not None else NULL_PROBE
+        )
+        if telemetry is not None and telemetry.profiler is not None:
+            self.engine.profiler = telemetry.profiler
         num_parts = config.dram_org.num_channels
 
         self.xbar = Crossbar(
@@ -61,6 +81,7 @@ class GPUSystem:
                 config,
                 self.stats.channels[ch],
                 deliver_read=self.partitions[ch].on_dram_data,
+                hub=telemetry,
             )
             self.partitions[ch].mc = mc
             self.mcs.append(mc)
@@ -90,11 +111,18 @@ class GPUSystem:
         self.warps_done = 0
         self._t_last_warp = 0
 
+        # The sampler is built last: it snapshots the controllers above.
+        self.sampler: Optional[IntervalSampler] = None
+        if telemetry is not None and telemetry.sampling:
+            self.sampler = IntervalSampler(self, telemetry.sample_period_ps, telemetry)
+
     # ------------------------------------------------------------------
     # routing callbacks
     # ------------------------------------------------------------------
     def _send_request(self, req: MemoryRequest) -> None:
         self.amap.route(req)
+        if self._tracer is not None:
+            self._tracer.on_dispatch(req)
         if req.transaction is not None:
             req.transaction.note_dispatched(req.channel)
         part = self.partitions[req.channel]
@@ -112,6 +140,8 @@ class GPUSystem:
     def _warp_done(self, warp: WarpState) -> None:
         self.warps_done += 1
         self._t_last_warp = self.engine.now
+        if self._p_warp_done:
+            self._p_warp_done.emit(warp.sm_id, warp.warp_id, self.engine.now)
 
     # ------------------------------------------------------------------
     # execution
@@ -120,20 +150,33 @@ class GPUSystem:
         """Execute the kernel to completion and return the statistics."""
         for sm in self.sms:
             sm.start()
+        if self.sampler is not None:
+            self.sampler.start()
+        t0 = perf_counter()
         self.engine.run(max_events=max_events)
+        wall = perf_counter() - t0
         if self.warps_done != self.total_warps:
             raise RuntimeError(
                 f"simulation stalled: {self.warps_done}/{self.total_warps} "
                 f"warps finished, {self.engine.events_processed} events"
             )
         self.stats.elapsed_ps = self._t_last_warp
+        self.stats.events_processed = self.engine.events_processed
+        self.stats.wall_seconds = wall
         for mc in self.mcs:
             mc.sync_stats()
+        if self.sampler is not None:
+            self.sampler.finalize()
+            self.stats.intervals = self.sampler.samples
+            self.stats.interval_period_ps = self.sampler.period_ps
         return self.stats
 
 
 def simulate(
-    config: SimConfig, kernel: KernelTrace, max_events: Optional[int] = None
+    config: SimConfig,
+    kernel: KernelTrace,
+    max_events: Optional[int] = None,
+    telemetry: Optional[TelemetryHub] = None,
 ) -> SimStats:
     """Build a :class:`GPUSystem` for ``kernel`` and run it to completion."""
-    return GPUSystem(config, kernel).run(max_events=max_events)
+    return GPUSystem(config, kernel, telemetry=telemetry).run(max_events=max_events)

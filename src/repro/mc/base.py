@@ -35,6 +35,7 @@ from repro.core.stats import ChannelStats
 from repro.dram.channel import Channel
 from repro.dram.commands import CommandKind
 from repro.mc.command_queue import SCORE_HIT, CommandQueues, QueuedRequest
+from repro.telemetry.hub import NULL_PROBE, TelemetryHub
 
 __all__ = ["MemoryController"]
 
@@ -52,6 +53,7 @@ class MemoryController:
         config: SimConfig,
         stats: ChannelStats,
         deliver_read: Callable[[MemoryRequest], None],
+        hub: Optional[TelemetryHub] = None,
     ) -> None:
         self.engine = engine
         self.channel_id = channel_id
@@ -63,6 +65,18 @@ class MemoryController:
         self.deliver_read = deliver_read
         self.channel = Channel(self.org, self.t)
         self.cq = CommandQueues(self.org, self.mc.command_queue_depth)
+
+        # Telemetry probes (see docs/observability.md).  Falsy unless a
+        # consumer subscribed, so each emit site is one truthiness check.
+        if hub is not None:
+            self._p_read_done = hub.probe("mc.read_done")
+            self._p_drain = hub.probe("mc.drain")
+            self.channel.attach_probes(
+                channel_id, hub.probe("dram.cmd"), hub.probe("bank.streak")
+            )
+        else:
+            self._p_read_done = NULL_PROBE
+            self._p_drain = NULL_PROBE
 
         # Write queue and an index by line address for read forwarding.
         self.write_queue: list[MemoryRequest] = []
@@ -211,6 +225,7 @@ class MemoryController:
 
     def _update_drain_state(self) -> None:
         wq = len(self.write_queue)
+        was_draining = self.draining
         if not self.draining:
             if wq >= self.mc.write_high_watermark:
                 self.draining = True
@@ -225,6 +240,8 @@ class MemoryController:
             elif self._drain_reason == "idle" and (wq == 0 or not self._read_side_idle()):
                 # Opportunistic drains yield to newly arrived reads.
                 self.draining = False
+        if self._p_drain and self.draining != was_draining:
+            self._p_drain.emit(self.channel_id, self.draining, self._drain_reason)
 
     def _schedule_writes(self, now: int) -> None:
         """FR-FCFS write drain: prefer row hits, then oldest, per bank."""
@@ -333,9 +350,12 @@ class MemoryController:
             else:
                 self.stats.reads += 1
                 self._reads_pending -= 1
-                self.stats.read_latency.add((data_end - req.t_mc_arrival) / 1000.0)
+                latency_ns = (data_end - req.t_mc_arrival) / 1000.0
+                self.stats.read_latency.add(latency_ns)
                 self.stats.sorter_wait.add((req.t_scheduled - req.t_mc_arrival) / 1000.0)
                 self.stats.service_time.add((data_end - req.t_scheduled) / 1000.0)
+                if self._p_read_done:
+                    self._p_read_done.emit(self.channel_id, latency_ns, req.was_row_hit)
                 self.engine.schedule_at(data_end, lambda r=req: self.deliver_read(r))
 
     def _on_column_issued(self, entry: QueuedRequest, now: int) -> None:

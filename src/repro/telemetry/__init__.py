@@ -1,0 +1,43 @@
+"""repro.telemetry: probes, interval metrics, request tracing, profiling.
+
+Layered observability for the simulator, all strictly opt-in:
+
+* :class:`TelemetryHub` / :class:`Probe` — the instrumentation hook API.
+  Components emit through probes that cost one truthiness check when
+  nothing is listening, so the default (no hub) simulation path is
+  unchanged.
+* :class:`IntervalSampler` — a periodic time-series of queue depths,
+  row-hit rate, bus utilization, drain state and per-bank occupancy,
+  attached to :class:`~repro.core.stats.SimStats` as ``stats.intervals``.
+* :class:`RequestTracer` — per-request lifecycle records exportable as
+  Chrome trace-event JSON (Perfetto / ``chrome://tracing``).
+* :class:`EngineProfiler` — wall-clock attribution of host time to model
+  components, installed on the event engine.
+
+Typical use::
+
+    from repro import SimConfig, simulate
+    from repro.telemetry import TelemetryHub
+
+    hub = TelemetryHub(sample_period_ns=100.0, trace=True, profile=True)
+    stats = simulate(SimConfig(), kernel, telemetry=hub)
+    stats.write_metrics("metrics.json")        # interval time-series
+    hub.tracer.write("trace.json", stats.intervals)   # open in Perfetto
+    print(hub.profiler.format())
+
+See ``docs/observability.md`` for the probe namespace and file schemas.
+"""
+
+from repro.telemetry.hub import NULL_PROBE, Probe, TelemetryHub
+from repro.telemetry.profiler import EngineProfiler
+from repro.telemetry.sampler import IntervalSampler
+from repro.telemetry.tracer import RequestTracer
+
+__all__ = [
+    "NULL_PROBE",
+    "EngineProfiler",
+    "IntervalSampler",
+    "Probe",
+    "RequestTracer",
+    "TelemetryHub",
+]

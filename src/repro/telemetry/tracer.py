@@ -1,0 +1,205 @@
+"""Request-lifecycle tracing and Chrome trace-event export.
+
+The simulator already timestamps every :class:`~repro.core.request.MemoryRequest`
+as it moves through the machine (``t_issue`` → ``t_mc_arrival`` →
+``t_scheduled`` → ``t_data`` → ``t_return``).  The tracer's runtime job is
+therefore deliberately tiny — append each dispatched request to a list —
+and all interpretation happens at export time, after the run, when the
+timestamps are final.
+
+Export produces Chrome trace-event JSON (the ``traceEvents`` array format)
+loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* each SM is a *process* (``pid``);
+* each warp owns a band of *lanes* (``tid`` rows) and every in-flight
+  request of that warp occupies one lane, so the requests of one vector
+  load sit directly under each other and the latency divergence within the
+  warp-group is visible as the ragged right edge of the band;
+* each request renders as consecutive phase slices on its lane:
+  ``xbar+l2`` (coalescer exit to controller arrival, including the L2
+  lookup), then ``mc-queue`` (transaction-scheduler wait), ``cmd-queue``
+  (command queue to data burst) and ``return`` (data burst to SM) — or a
+  single ``l2-hit`` / ``l2-merge`` / ``wq-forward`` slice for requests the
+  memory system answered above DRAM;
+* interval-sampler output, when available, is embedded as counter tracks
+  (queue depths, bus utilization, row-hit rate).
+
+Timestamps are emitted in microseconds (the trace format's native unit);
+one simulated picosecond is 1e-6 trace microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.request import MemoryRequest
+
+__all__ = ["RequestTracer"]
+
+#: Synthetic pid for the counter tracks (far above any real SM id).
+COUNTER_PID = 10_000
+
+#: tid stride reserved per warp: one vector load coalesces to at most 32
+#: line requests; page-table walks can add a few more concurrent lanes.
+LANES_PER_WARP = 64
+
+_PS_PER_US = 1_000_000.0
+
+
+def _us(t_ps: int) -> float:
+    return t_ps / _PS_PER_US
+
+
+class RequestTracer:
+    """Collects dispatched requests; renders Chrome trace JSON after the run."""
+
+    __slots__ = ("requests",)
+
+    def __init__(self) -> None:
+        self.requests: list[MemoryRequest] = []
+
+    # -- runtime hook (called from GPUSystem._send_request) ------------------
+    def on_dispatch(self, req: MemoryRequest) -> None:
+        self.requests.append(req)
+
+    # -- export --------------------------------------------------------------
+    @staticmethod
+    def _phases(req: MemoryRequest) -> list[tuple[int, int, str]]:
+        """(start_ps, end_ps, name) slices for one request's lifecycle."""
+        phases: list[tuple[int, int, str]] = []
+        if req.t_mc_arrival >= 0:
+            phases.append((req.t_issue, req.t_mc_arrival, "xbar+l2"))
+            if req.serviced_by == "wq" and req.t_data >= 0:
+                phases.append((req.t_mc_arrival, req.t_data, "wq-forward"))
+            elif req.t_scheduled >= 0:
+                phases.append((req.t_mc_arrival, req.t_scheduled, "mc-queue"))
+                if req.t_data >= 0:
+                    phases.append((req.t_scheduled, req.t_data, "cmd-queue"))
+            if req.t_return >= 0 and req.t_data >= 0:
+                phases.append((req.t_data, req.t_return, "return"))
+        elif req.t_return >= 0:
+            # Resolved above the controller: L2 hit, or merged into an
+            # in-flight L2 miss (secondary MSHR allocation).
+            name = "l2-hit" if req.serviced_by == "l2" else "l2-merge"
+            phases.append((req.t_issue, req.t_return, name))
+        return phases
+
+    def chrome_trace(self, intervals: Optional[list[dict]] = None) -> dict:
+        """The full trace as a ``{"traceEvents": [...]}`` dictionary."""
+        events: list[dict] = []
+        seen_pids: set[int] = set()
+        seen_tids: set[tuple[int, int]] = set()
+
+        # Assign each request a lane within its warp's tid band.  Offline
+        # interval scheduling: process requests in issue order, reuse the
+        # lowest lane that freed up before this request started.
+        by_warp: dict[tuple[int, int], list[MemoryRequest]] = {}
+        for req in self.requests:
+            by_warp.setdefault((req.sm_id, req.warp_id), []).append(req)
+
+        for (sm_id, warp_id), reqs in sorted(by_warp.items()):
+            lanes_busy_until: list[int] = []
+            for req in sorted(reqs, key=lambda r: (r.t_issue, r.req_id)):
+                phases = self._phases(req)
+                if not phases:
+                    continue
+                start, end = phases[0][0], phases[-1][1]
+                lane = next(
+                    (i for i, busy in enumerate(lanes_busy_until) if busy <= start),
+                    len(lanes_busy_until),
+                )
+                if lane == len(lanes_busy_until):
+                    lanes_busy_until.append(end)
+                else:
+                    lanes_busy_until[lane] = end
+                lane = min(lane, LANES_PER_WARP - 1)
+                tid = warp_id * LANES_PER_WARP + lane
+                seen_pids.add(sm_id)
+                if (sm_id, tid) not in seen_tids:
+                    seen_tids.add((sm_id, tid))
+                    events.append({
+                        "ph": "M", "name": "thread_name", "pid": sm_id,
+                        "tid": tid,
+                        "args": {"name": f"warp {warp_id} lane {lane}"},
+                    })
+                    events.append({
+                        "ph": "M", "name": "thread_sort_index", "pid": sm_id,
+                        "tid": tid, "args": {"sort_index": tid},
+                    })
+                args = {
+                    "req": req.req_id,
+                    "addr": f"{req.addr:#x}",
+                    "channel": req.channel,
+                    "bank": req.bank,
+                    "row": req.row,
+                    "write": req.is_write,
+                    "serviced_by": req.serviced_by or "pending",
+                    "row_hit": req.was_row_hit,
+                }
+                for t0, t1, name in phases:
+                    events.append({
+                        "ph": "X", "name": name, "cat": "request",
+                        "pid": sm_id, "tid": tid,
+                        "ts": _us(t0), "dur": _us(max(0, t1 - t0)),
+                        "args": args,
+                    })
+
+        for pid in sorted(seen_pids):
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "args": {"name": f"SM {pid}"},
+            })
+            events.append({
+                "ph": "M", "name": "process_sort_index", "pid": pid, "tid": 0,
+                "args": {"sort_index": pid},
+            })
+
+        if intervals:
+            events.extend(self._counter_events(intervals))
+
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ns",
+            "metadata": {"tool": "repro.telemetry", "time_unit": "us"},
+        }
+
+    @staticmethod
+    def _counter_events(intervals: list[dict]) -> list[dict]:
+        events: list[dict] = [
+            {
+                "ph": "M", "name": "process_name", "pid": COUNTER_PID, "tid": 0,
+                "args": {"name": "memory system"},
+            },
+        ]
+        series = (
+            ("read queue depth", "queue_depth"),
+            ("write queue depth", "write_queue_depth"),
+            ("cmdq occupancy", "cmdq_occupancy"),
+            ("drain active", "drain_active"),
+        )
+        for sample in intervals:
+            ts = _us(sample["t_ps"])
+            for name, key in series:
+                values = sample[key]
+                events.append({
+                    "ph": "C", "name": name, "pid": COUNTER_PID, "tid": 0,
+                    "ts": ts,
+                    "args": {f"ch{i}": v for i, v in enumerate(values)},
+                })
+            events.append({
+                "ph": "C", "name": "bus utilization", "pid": COUNTER_PID,
+                "tid": 0, "ts": ts,
+                "args": {"util": sample["bus_utilization"]},
+            })
+            events.append({
+                "ph": "C", "name": "row hit rate", "pid": COUNTER_PID,
+                "tid": 0, "ts": ts,
+                "args": {"rate": sample["row_hit_rate"]},
+            })
+        return events
+
+    def write(self, path: str, intervals: Optional[list[dict]] = None) -> None:
+        """Serialize the Chrome trace to ``path`` as JSON."""
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(intervals), fh)

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -35,3 +37,50 @@ def test_compare_table(capsys):
 def test_rejects_unknown_benchmark():
     with pytest.raises(SystemExit):
         main(["run", "not-a-benchmark"])
+
+
+def test_run_json_output(capsys):
+    assert main(["run", "sad", "--scale", "tiny", "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert {"ipc", "row_hit_rate", "effective_latency_ns"} <= set(summary)
+    assert all(isinstance(v, (int, float)) for v in summary.values())
+
+
+def test_run_exports_metrics_and_trace(tmp_path, capsys):
+    mpath = tmp_path / "m.json"
+    tpath = tmp_path / "t.json"
+    assert main([
+        "run", "sad", "--scale", "tiny",
+        "--metrics-out", str(mpath), "--trace-out", str(tpath),
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "events/s" in captured.err  # wall-clock report on stderr
+    bundle = json.loads(mpath.read_text())
+    assert bundle["schema_version"] == 1
+    assert len(bundle["intervals"]) >= 2
+    trace = json.loads(tpath.read_text())
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+
+def test_run_metrics_csv(tmp_path):
+    cpath = tmp_path / "m.csv"
+    assert main([
+        "run", "sad", "--scale", "tiny", "--metrics-out", str(cpath),
+    ]) == 0
+    header, *rows = cpath.read_text().strip().splitlines()
+    assert "t_ps" in header.split(",")
+    assert len(rows) >= 2
+
+
+def test_run_profile_report(capsys):
+    assert main(["run", "sad", "--scale", "tiny", "--profile"]) == 0
+    err = capsys.readouterr().err
+    assert "component" in err and "SMCore" in err
+
+
+def test_trace_subcommand_defaults_output(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "sad", "--scale", "tiny"]) == 0
+    trace = json.loads((tmp_path / "trace.json").read_text())
+    assert trace["displayTimeUnit"] == "ns"
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])

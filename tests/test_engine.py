@@ -99,6 +99,102 @@ def test_events_processed_counter():
     assert eng.events_processed == 10
 
 
+def test_stop_predicate_halts_mid_queue_and_preserves_remainder():
+    eng = Engine()
+    seen = []
+    for t in (1, 2, 3, 4, 5):
+        eng.schedule_at(t, lambda t=t: seen.append(t))
+    eng.run(stop=lambda: len(seen) >= 3)
+    # The predicate halted the run with events still queued...
+    assert seen == [1, 2, 3]
+    assert not eng.empty()
+    assert eng.peek_time() == 4
+    assert eng.now == 3  # clock stays at the last processed event
+    # ...and the engine resumes cleanly from where it stopped.
+    eng.run()
+    assert seen == [1, 2, 3, 4, 5]
+    assert eng.empty()
+
+
+def test_stop_predicate_checked_before_first_event():
+    eng = Engine()
+    seen = []
+    eng.schedule_at(5, lambda: seen.append(5))
+    eng.run(stop=lambda: True)
+    assert seen == []
+    assert eng.now == 0
+    assert not eng.empty()
+
+
+def test_max_events_exact_boundary():
+    # The budget is a safety valve: hitting it raises even if the Nth
+    # event happened to be the last one queued. One spare event suffices.
+    eng = Engine()
+    for t in range(10):
+        eng.schedule_at(t, lambda: None)
+    eng.run(max_events=11)  # budget above the queue length: must not raise
+    assert eng.events_processed == 10
+    assert eng.empty()
+    for t in range(10):
+        eng.schedule_at(eng.now + 1 + t, lambda: None)
+    with pytest.raises(SimulationError) as exc:
+        eng.run(max_events=10)
+    assert "max_events" in str(exc.value)
+    # All ten events did run before the budget check tripped.
+    assert eng.events_processed == 20
+    assert eng.empty()
+
+
+def test_until_ps_between_events_advances_clock_exactly():
+    eng = Engine()
+    seen = []
+    eng.schedule_at(10, lambda: seen.append(10))
+    eng.schedule_at(40, lambda: seen.append(40))
+    eng.run(until_ps=25)  # lands strictly between the two events
+    assert seen == [10]
+    assert eng.now == 25  # clock parked at the bound, not at 10 or 40
+    # Scheduling relative to the advanced clock works as expected.
+    eng.schedule(5, lambda: seen.append(eng.now))
+    eng.run(until_ps=30)
+    assert seen == [10, 30]
+    eng.run()
+    assert seen == [10, 30, 40]
+
+
+def test_until_ps_inclusive_of_event_at_bound():
+    eng = Engine()
+    seen = []
+    eng.schedule_at(50, lambda: seen.append(50))
+    eng.run(until_ps=50)  # events exactly at the bound still fire
+    assert seen == [50]
+    assert eng.now == 50
+
+
+def test_until_ps_with_empty_queue_leaves_clock_unchanged():
+    eng = Engine()
+    eng.run(until_ps=1000)
+    # No event to process and nothing to cut short: the bound is not a
+    # time-warp, the clock only moves when events (or a cut) demand it.
+    assert eng.now == 0
+
+
+def test_profiler_hook_times_each_event():
+    class Recorder:
+        def __init__(self):
+            self.notes = []
+
+        def note(self, fn, seconds):
+            self.notes.append((fn, seconds))
+
+    eng = Engine()
+    eng.profiler = Recorder()
+    eng.schedule_at(1, lambda: None)
+    eng.schedule_at(2, lambda: None)
+    eng.run()
+    assert len(eng.profiler.notes) == 2
+    assert all(sec >= 0 for _, sec in eng.profiler.notes)
+
+
 @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
 def test_property_clock_monotonic(times):
     eng = Engine()
