@@ -10,13 +10,20 @@ Run:
     python examples/reproduce_paper.py --scale paper        # full scale
     python examples/reproduce_paper.py --only fig8 fig11    # subset
     python examples/reproduce_paper.py --kind algorithmic   # real-algorithm traces
+    python examples/reproduce_paper.py --workers 8          # parallel prefetch
+                                                            # (resumable: rerun
+                                                            # after an interrupt)
 """
 
 import argparse
 import os
 import time
 
+import sys
+
 from repro.analysis import run_all
+from repro.analysis.sweep import run_sweep
+from repro.workloads.profiles import ALL_PROFILES
 from repro.analysis.experiments import (
     fig2_coalescing,
     fig3_divergence,
@@ -62,10 +69,30 @@ def main() -> None:
     ap.add_argument("--cache-dir", default=".repro-results",
                     help="simulation result cache (JSON per run)")
     ap.add_argument("--out", help="also write each table to this directory")
+    ap.add_argument("--workers", type=int, default=0,
+                    help="prefetch the sweep with N worker processes first "
+                         "(interrupted runs resume from the sweep manifest)")
     args = ap.parse_args()
 
     scale = Scale[args.scale.upper()]
     t0 = time.time()
+    if args.workers > 0:
+        # One resumable parallel sweep over the combinations the figure
+        # drivers consume; the drivers below then run from the cache.
+        prefetch = ExperimentRunner(
+            scale=scale, seeds=tuple(args.seeds), kind=args.kind,
+            cache_dir=args.cache_dir,
+        )
+        say = lambda msg: print(msg, file=sys.stderr)  # noqa: E731
+        run_sweep(
+            prefetch, sorted(ALL_PROFILES),
+            ("gmc", "wg", "wg-m", "wg-bw", "wg-w", "wafcfs", "zero-div"),
+            workers=args.workers, resume=True, progress=say,
+        ).raise_on_failure()
+        run_sweep(
+            prefetch, sorted(ALL_PROFILES), ("gmc",), perfect=True,
+            workers=args.workers, resume=True, progress=say,
+        ).raise_on_failure()
     if args.only:
         runner = ExperimentRunner(
             scale=scale, seeds=tuple(args.seeds), kind=args.kind,

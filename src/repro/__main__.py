@@ -9,6 +9,9 @@ Subcommands:
   lifecycle trace, engine profile) and write a Chrome trace-event JSON
   loadable in Perfetto;
 * ``compare BENCH`` — all schedulers on one benchmark;
+* ``sweep``       — fill the result cache with a parallel
+  (benchmark x scheduler x seed) sweep: worker pool, retries, live
+  progress, resumable manifest, machine-readable throughput report;
 * ``reproduce``   — regenerate the paper's tables and figures;
 * ``list``        — available benchmarks and schedulers.
 """
@@ -31,6 +34,8 @@ from repro import (
     synthetic_trace,
 )
 from repro.analysis import format_table, run_all
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.sweep import run_sweep
 from repro.telemetry import TelemetryHub
 
 
@@ -130,7 +135,55 @@ def cmd_compare(args) -> int:
     return 0
 
 
+#: Schedulers the paper's evaluation sweeps (plus §VI-C's WAFCFS and the
+#: Fig. 4 zero-divergence bound); SBWAS runs per-alpha with its own config.
+SWEEP_SCHEDULERS = ("gmc", "wg", "wg-m", "wg-bw", "wg-w")
+
+
+def cmd_sweep(args) -> int:
+    runner = ExperimentRunner(
+        scale=Scale[args.scale.upper()],
+        seeds=tuple(args.seeds),
+        kind=args.kind,
+        cache_dir=args.cache_dir,
+    )
+    report = run_sweep(
+        runner,
+        args.benchmarks,
+        args.schedulers,
+        perfect=args.perfect,
+        workers=args.workers,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        resume=args.resume,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    if args.bench_out:
+        report.write_bench(args.bench_out)
+        print(f"[sweep] throughput report -> {args.bench_out}", file=sys.stderr)
+    for res in report.failed:
+        print(f"[sweep] FAILED {res.job.job_id}: {res.error}", file=sys.stderr)
+    return 1 if report.n_failed else 0
+
+
 def cmd_reproduce(args) -> int:
+    if args.workers > 0:
+        # Warm the cache with one parallel sweep over the combinations the
+        # figure drivers consume; the drivers then run from cache.
+        runner = ExperimentRunner(
+            scale=Scale[args.scale.upper()], seeds=tuple(args.seeds),
+            kind=args.kind, cache_dir=args.cache_dir,
+        )
+        run_sweep(
+            runner, sorted(benchmark_names()), (*SWEEP_SCHEDULERS, "wafcfs", "zero-div"),
+            workers=args.workers, resume=True,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        ).raise_on_failure()
+        run_sweep(
+            runner, sorted(benchmark_names()), ("gmc",), perfect=True,
+            workers=args.workers, resume=True,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        ).raise_on_failure()
     results = run_all(
         scale=Scale[args.scale.upper()], seeds=tuple(args.seeds),
         kind=args.kind, cache_dir=args.cache_dir, verbose=True,
@@ -199,6 +252,37 @@ def main(argv: list[str] | None = None) -> int:
     common(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
 
+    p_sw = sub.add_parser(
+        "sweep", help="parallel (benchmark x scheduler x seed) cache-filling sweep"
+    )
+    p_sw.add_argument("--benchmarks", nargs="+", metavar="BENCH",
+                      default=sorted(benchmark_names()),
+                      choices=sorted(benchmark_names()),
+                      help="benchmarks to sweep (default: all)")
+    p_sw.add_argument("--schedulers", nargs="+", metavar="SCHED",
+                      default=list(SWEEP_SCHEDULERS), choices=sorted(SCHEDULERS),
+                      help="schedulers to sweep (default: gmc + WG family)")
+    p_sw.add_argument("--scale", default="quick",
+                      choices=[s.name.lower() for s in Scale])
+    p_sw.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
+    p_sw.add_argument("--kind", default="synthetic",
+                      choices=["synthetic", "algorithmic"])
+    p_sw.add_argument("--cache-dir", default=".repro-results")
+    p_sw.add_argument("--workers", type=int, default=4,
+                      help="worker processes (0 = run inline)")
+    p_sw.add_argument("--resume", action="store_true",
+                      help="skip jobs the sweep manifest already marks done")
+    p_sw.add_argument("--timeout", type=float, default=None, metavar="S",
+                      help="per-job timeout in seconds (default: none)")
+    p_sw.add_argument("--retries", type=int, default=1,
+                      help="resubmissions per failed job (default 1)")
+    p_sw.add_argument("--perfect", action="store_true",
+                      help="apply the perfect-coalescing transform (Fig. 4)")
+    p_sw.add_argument("--bench-out", default="BENCH_sweep.json", metavar="PATH",
+                      help="machine-readable throughput report "
+                           "(default BENCH_sweep.json; '' to skip)")
+    p_sw.set_defaults(fn=cmd_sweep)
+
     p_rep = sub.add_parser("reproduce", help="regenerate the paper's evaluation")
     p_rep.add_argument("--scale", default="quick",
                        choices=[s.name.lower() for s in Scale])
@@ -206,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
     p_rep.add_argument("--kind", default="synthetic",
                        choices=["synthetic", "algorithmic"])
     p_rep.add_argument("--cache-dir", default=".repro-results")
+    p_rep.add_argument("--workers", type=int, default=0,
+                       help="prefetch the sweep with N worker processes first")
     p_rep.set_defaults(fn=cmd_reproduce)
 
     p_list = sub.add_parser("list", help="available benchmarks and schedulers")

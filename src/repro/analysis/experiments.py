@@ -379,7 +379,6 @@ def sec6c_comparison(
             kind=runner.kind,
             cache_dir=runner.cache_dir,
             verbose=runner.verbose,
-            tag=f"alpha{a}",
         )
         for a in alphas
     }

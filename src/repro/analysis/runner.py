@@ -1,9 +1,19 @@
-"""Shared experiment runner with result caching.
+"""Shared experiment runner with content-addressed result caching.
 
 Figures 8-12 all derive from the same (benchmark x scheduler) sweep, so
 experiments share one :class:`ExperimentRunner`: each simulation runs once
 per (workload kind, benchmark, scheduler, scale, seed) and its summary
 dict is cached in memory and optionally as JSON on disk.
+
+Disk-cache keying
+-----------------
+Cache entries are keyed by a **content hash of the full** ``SimConfig``
+(:func:`config_hash`) alongside the run coordinates, so *any* config
+change — a timing parameter, a queue depth, an SBWAS alpha — lands in a
+fresh cache entry automatically.  There is no manual tag or cache-version
+counter to forget to bump: stale results cannot survive a config change.
+Writes go through :func:`atomic_write_json` (temp file + ``os.replace``),
+so concurrent sweep workers never observe a partially written entry.
 
 Workload kinds:
 
@@ -12,12 +22,19 @@ Workload kinds:
   for figure regeneration);
 * ``algorithmic`` — traces emitted by actually running each algorithm
   (secondary validation; see DESIGN.md).
+
+The parallel sweep harness built on top of this runner (worker dispatch,
+retries, resume manifest, progress) lives in :mod:`repro.analysis.sweep`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
+import tempfile
+import time
 from typing import Optional
 
 from repro.core.config import SimConfig
@@ -28,26 +45,100 @@ from repro.workloads.suite import Scale, build_benchmark
 from repro.workloads.synthetic import synthetic_trace
 from repro.workloads.trace import KernelTrace
 
-__all__ = ["ExperimentRunner", "run_one_job", "prefetch_parallel"]
+__all__ = [
+    "ExperimentRunner",
+    "atomic_write_json",
+    "config_hash",
+    "prefetch_parallel",
+    "run_one_job",
+]
 
-_CACHE_VERSION = 7  # bump to invalidate stale on-disk results
+# Folded into the hash input so a change to the *cache layout* (not the
+# config) can also invalidate old entries without a rename convention.
+_CACHE_SCHEMA = 1
+
+
+def config_hash(config: SimConfig) -> str:
+    """Stable 12-hex-digit content hash of a full :class:`SimConfig`.
+
+    Derived from the canonical JSON of every field (nested dataclasses
+    included), so two configs hash equal iff they are equal.
+    """
+    payload = json.dumps(
+        {"schema": _CACHE_SCHEMA, "config": dataclasses.asdict(config)},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def atomic_write_json(path: str, obj) -> None:
+    """Write ``obj`` as JSON so readers never see a partial file.
+
+    The payload goes to a unique temp file in the destination directory
+    and is renamed into place (``os.replace`` is atomic on POSIX and
+    Windows).  Concurrent writers of the same path race benignly: the
+    last full document wins.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(obj, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def run_one_job(job: tuple) -> tuple:
     """Worker entry point for parallel sweeps (must be module-level for
     pickling).  ``job`` = (config, scale_name, kind, bench, scheduler,
-    seed, perfect, cache_dir, tag); returns (job key fields, summary)."""
-    config, scale_name, kind, bench, scheduler, seed, perfect, cache_dir, tag = job
+    seed, perfect, cache_dir); returns ((bench, scheduler, seed, perfect),
+    summary, meta) where ``meta`` records whether the job actually
+    simulated plus its wall time and engine event count.
+    """
+    config, scale_name, kind, bench, scheduler, seed, perfect, cache_dir = job
+    _maybe_inject_crash(cache_dir, bench, scheduler, seed)
     runner = ExperimentRunner(
         config=config,
         scale=Scale[scale_name],
         seeds=(seed,),
         kind=kind,
         cache_dir=cache_dir,
-        tag=tag,
     )
+    t0 = time.time()
     summary = runner.run(bench, scheduler, seed, perfect)
-    return (bench, scheduler, seed, perfect), summary
+    meta = {
+        "simulated": runner.last_outcome == "simulated",
+        "wall_s": time.time() - t0,
+        "sim_events": summary.get("sim_events", 0.0),
+        "sim_wall_s": summary.get("sim_wall_s", 0.0),
+    }
+    return (bench, scheduler, seed, perfect), summary, meta
+
+
+def _maybe_inject_crash(cache_dir, bench: str, scheduler: str, seed: int) -> None:
+    """Test hook: ``REPRO_SWEEP_CRASH=bench:scheduler:seed`` makes the
+    matching job raise exactly once (a marker file in the cache dir keeps
+    the retry alive).  Used to exercise the harness's failure path."""
+    target = os.environ.get("REPRO_SWEEP_CRASH")
+    if not target or cache_dir is None:
+        return
+    if target != f"{bench}:{scheduler}:{seed}":
+        return
+    marker = os.path.join(cache_dir, f".crashed-{bench}-{scheduler}-{seed}")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return  # already crashed once; let the retry succeed
+    os.close(fd)
+    raise RuntimeError(f"injected crash for {bench}/{scheduler}/{seed}")
 
 
 def prefetch_parallel(
@@ -59,36 +150,18 @@ def prefetch_parallel(
 ) -> int:
     """Fill the runner's disk cache with a (benchmark x scheduler x seed)
     sweep using a process pool.  Requires ``cache_dir`` (workers
-    communicate through it).  Returns the number of simulations run.
+    communicate through it).  Returns the number of jobs executed.
 
-    The subsequent ``runner.mean(...)`` calls then hit the disk cache, so
-    figure generation after a parallel prefetch is effectively free.
+    Thin compatibility wrapper over :func:`repro.analysis.sweep.run_sweep`,
+    which adds retries, per-job timeouts, progress and a resume manifest.
     """
-    if runner.cache_dir is None:
-        raise ValueError("parallel prefetch requires a cache_dir")
-    from concurrent.futures import ProcessPoolExecutor
+    from repro.analysis.sweep import run_sweep
 
-    jobs = [
-        (
-            runner.config,
-            runner.scale.name,
-            runner.kind,
-            bench,
-            sched,
-            seed,
-            perfect,
-            runner.cache_dir,
-            runner.tag,
-        )
-        for bench in benchmarks
-        for sched in schedulers
-        for seed in runner.seeds
-    ]
-    count = 0
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for _key, _summary in pool.map(run_one_job, jobs):
-            count += 1
-    return count
+    report = run_sweep(
+        runner, benchmarks, schedulers, workers=workers, perfect=perfect
+    )
+    report.raise_on_failure()
+    return report.n_done
 
 
 class ExperimentRunner:
@@ -102,7 +175,6 @@ class ExperimentRunner:
         kind: str = "synthetic",
         cache_dir: Optional[str] = None,
         verbose: bool = False,
-        tag: str = "",
     ) -> None:
         if kind not in ("synthetic", "algorithmic"):
             raise ValueError("kind must be 'synthetic' or 'algorithmic'")
@@ -112,7 +184,8 @@ class ExperimentRunner:
         self.kind = kind
         self.cache_dir = cache_dir
         self.verbose = verbose
-        self.tag = tag  # distinguishes non-default configs in the cache
+        self.config_hash = config_hash(self.config)
+        self.last_outcome = ""  # "memo" | "disk" | "simulated" (last run())
         self._traces: dict[tuple[str, int, bool], KernelTrace] = {}
         self._results: dict[tuple, dict[str, float]] = {}
 
@@ -137,27 +210,42 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     # simulation with caching
     # ------------------------------------------------------------------
-    def _cache_path(self, key: tuple) -> Optional[str]:
+    def cache_name(
+        self, bench: str, scheduler: str, seed: int, perfect: bool = False
+    ) -> str:
+        """Cache file name for one run (config identity via content hash)."""
+        return (
+            f"{self.kind}-{bench}-{scheduler}-{self.scale.name}"
+            f"-s{seed}-p{int(perfect)}-{self.config_hash}.json"
+        )
+
+    def _cache_path(
+        self, bench: str, scheduler: str, seed: int, perfect: bool
+    ) -> Optional[str]:
         if self.cache_dir is None:
             return None
-        name = "-".join(str(k) for k in key) + f"-v{_CACHE_VERSION}.json"
-        return os.path.join(self.cache_dir, name)
+        return os.path.join(
+            self.cache_dir, self.cache_name(bench, scheduler, seed, perfect)
+        )
 
     def run(
         self, bench: str, scheduler: str, seed: int, perfect: bool = False
     ) -> dict[str, float]:
-        key = (self.kind, bench, scheduler, self.scale.name, seed, int(perfect), self.tag)
+        key = (self.kind, bench, scheduler, self.scale.name, seed, int(perfect))
         if key in self._results:
+            self.last_outcome = "memo"
             return self._results[key]
-        path = self._cache_path(key)
+        path = self._cache_path(bench, scheduler, seed, perfect)
         if path and os.path.exists(path):
             with open(path) as fh:
                 result = json.load(fh)
             self._results[key] = result
+            self.last_outcome = "disk"
             return result
         if self.verbose:
             print(f"  simulating {bench} / {scheduler} (seed {seed}) ...", flush=True)
         trace = self.trace(bench, seed, perfect)
+        t0 = time.time()
         stats = simulate(self.config.with_scheduler(scheduler), trace)
         result = stats.summary()
         # Extras the figures need beyond the headline summary.
@@ -181,11 +269,14 @@ class ExperimentRunner:
         result["wgw_promotions"] = float(
             sum(c.wgw_promotions for c in stats.channels)
         )
+        # Host-side cost of producing this entry (the sweep harness reports
+        # events/sec per job from these).
+        result["sim_events"] = float(stats.events_processed)
+        result["sim_wall_s"] = stats.wall_seconds
         self._results[key] = result
+        self.last_outcome = "simulated"
         if path:
-            os.makedirs(self.cache_dir, exist_ok=True)
-            with open(path, "w") as fh:
-                json.dump(result, fh)
+            atomic_write_json(path, result)
         return result
 
     def mean(self, bench: str, scheduler: str, perfect: bool = False) -> dict[str, float]:

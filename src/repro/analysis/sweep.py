@@ -1,0 +1,477 @@
+"""Robust parallel sweep harness over :class:`ExperimentRunner`.
+
+``run_sweep`` executes a (benchmark x scheduler x seed) grid with a
+process pool and makes the sweep safe to run at scale:
+
+* **as_completed dispatch** — results are harvested as workers finish,
+  with a live progress/ETA line per completion;
+* **bounded retry** — a worker exception fails only that job, which is
+  resubmitted up to ``retries`` times before being recorded as failed
+  (the rest of the sweep always completes);
+* **per-job timeout** — a job running past ``timeout_s`` is cancelled if
+  still queued, failed (or retried) otherwise;
+* **resume manifest** — every completion is appended to a manifest JSON
+  in the cache directory; ``resume=True`` skips jobs the manifest marks
+  done (whose cache entry still exists), so an interrupted sweep picks
+  up exactly where it died with zero re-simulation;
+* **atomic cache writes** — workers publish results via temp-file +
+  rename (see :func:`repro.analysis.runner.atomic_write_json`), so
+  concurrent workers and readers never see partial JSON.
+
+The returned :class:`SweepReport` carries per-job wall-clock and
+events/sec and serializes to the machine-readable ``BENCH_sweep.json``
+(:meth:`SweepReport.write_bench`) that tracks sweep throughput over time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.runner import ExperimentRunner, atomic_write_json, run_one_job
+
+__all__ = [
+    "JobResult",
+    "MANIFEST_NAME",
+    "SweepJob",
+    "SweepReport",
+    "load_manifest",
+    "run_sweep",
+]
+
+MANIFEST_NAME = "sweep-manifest.json"
+_MANIFEST_SCHEMA = 1
+_BENCH_SCHEMA = 1
+_POLL_S = 0.25  # wait() tick while enforcing per-job timeouts
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One cell of the sweep grid (identity includes the config hash)."""
+
+    kind: str
+    bench: str
+    scheduler: str
+    scale: str  # Scale name
+    seed: int
+    perfect: bool
+    config_hash: str
+
+    @property
+    def job_id(self) -> str:
+        return (
+            f"{self.kind}/{self.bench}/{self.scheduler}/{self.scale}"
+            f"/s{self.seed}/p{int(self.perfect)}/{self.config_hash}"
+        )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one sweep job."""
+
+    job: SweepJob
+    status: str  # "done" | "failed" | "skipped"
+    simulated: bool = False  # False: served from cache (or skipped)
+    wall_s: float = 0.0  # worker wall-clock for this job
+    sim_events: float = 0.0  # engine events of the producing simulation
+    sim_wall_s: float = 0.0  # wall-clock of the producing simulation
+    retries: int = 0
+    error: str = ""
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.sim_events / self.sim_wall_s if self.sim_wall_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.job.job_id,
+            "bench": self.job.bench,
+            "scheduler": self.job.scheduler,
+            "seed": self.job.seed,
+            "perfect": self.job.perfect,
+            "status": self.status,
+            "simulated": self.simulated,
+            "wall_s": round(self.wall_s, 4),
+            "sim_events": self.sim_events,
+            "sim_wall_s": round(self.sim_wall_s, 4),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "retries": self.retries,
+            "error": self.error,
+        }
+
+
+class SweepReport:
+    """Aggregate outcome of one ``run_sweep`` call."""
+
+    def __init__(
+        self,
+        results: list[JobResult],
+        *,
+        scale: str,
+        kind: str,
+        config_hash: str,
+        workers: int,
+        wall_s: float,
+    ) -> None:
+        self.results = results
+        self.scale = scale
+        self.kind = kind
+        self.config_hash = config_hash
+        self.workers = workers
+        self.wall_s = wall_s
+
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.results if r.status == status)
+
+    @property
+    def n_done(self) -> int:
+        return self._count("done")
+
+    @property
+    def n_failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def n_skipped(self) -> int:
+        return self._count("skipped")
+
+    @property
+    def n_simulated(self) -> int:
+        return sum(1 for r in self.results if r.simulated)
+
+    @property
+    def n_cached(self) -> int:
+        """Jobs that completed by hitting an existing cache entry."""
+        return sum(1 for r in self.results if r.status == "done" and not r.simulated)
+
+    @property
+    def failed(self) -> list[JobResult]:
+        return [r for r in self.results if r.status == "failed"]
+
+    @property
+    def events_total(self) -> float:
+        return sum(r.sim_events for r in self.results if r.simulated)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate simulation throughput of this sweep invocation."""
+        return self.events_total / self.wall_s if self.wall_s > 0 else 0.0
+
+    def raise_on_failure(self) -> None:
+        if self.failed:
+            lines = ", ".join(
+                f"{r.job.job_id} ({r.error.splitlines()[0] if r.error else '?'})"
+                for r in self.failed
+            )
+            raise RuntimeError(f"{self.n_failed} sweep job(s) failed: {lines}")
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": _BENCH_SCHEMA,
+            "scale": self.scale,
+            "kind": self.kind,
+            "config_hash": self.config_hash,
+            "workers": self.workers,
+            "wall_s": round(self.wall_s, 4),
+            "jobs_total": len(self.results),
+            "jobs_done": self.n_done,
+            "jobs_failed": self.n_failed,
+            "jobs_skipped": self.n_skipped,
+            "jobs_simulated": self.n_simulated,
+            "jobs_cached": self.n_cached,
+            "events_total": self.events_total,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "jobs": [r.to_dict() for r in self.results],
+        }
+
+    def write_bench(self, path: str) -> None:
+        """Emit the machine-readable sweep benchmark (BENCH_sweep.json)."""
+        atomic_write_json(path, self.to_dict())
+
+    def format(self) -> str:
+        parts = [
+            f"{self.n_done}/{len(self.results)} jobs done",
+            f"{self.n_simulated} simulated",
+            f"{self.n_cached} cache hits",
+        ]
+        if self.n_skipped:
+            parts.append(f"{self.n_skipped} resumed (skipped)")
+        if self.n_failed:
+            parts.append(f"{self.n_failed} FAILED")
+        rate = self.events_per_sec
+        return (
+            f"[sweep] {', '.join(parts)} in {self.wall_s:.1f}s"
+            + (f" ({rate / 1000.0:.0f}k events/s)" if rate else "")
+        )
+
+
+# ----------------------------------------------------------------------
+# manifest
+# ----------------------------------------------------------------------
+def _manifest_path(cache_dir: str, name: str = MANIFEST_NAME) -> str:
+    return os.path.join(cache_dir, name)
+
+
+def load_manifest(cache_dir: str, name: str = MANIFEST_NAME) -> dict:
+    """{job_id: entry} from the sweep manifest (empty if absent/corrupt)."""
+    path = _manifest_path(cache_dir, name)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if doc.get("schema_version") != _MANIFEST_SCHEMA:
+        return {}
+    return doc.get("jobs", {})
+
+
+def _save_manifest(cache_dir: str, jobs: dict, name: str = MANIFEST_NAME) -> None:
+    atomic_write_json(
+        _manifest_path(cache_dir, name),
+        {"schema_version": _MANIFEST_SCHEMA, "jobs": jobs},
+    )
+
+
+# ----------------------------------------------------------------------
+# sweep driver
+# ----------------------------------------------------------------------
+def run_sweep(
+    runner: ExperimentRunner,
+    benchmarks: Sequence[str],
+    schedulers: Sequence[str],
+    *,
+    perfect: bool = False,
+    workers: int = 4,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    resume: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+    manifest_name: str = MANIFEST_NAME,
+) -> SweepReport:
+    """Run the (benchmark x scheduler x seed) grid; returns a report.
+
+    ``workers <= 0`` executes inline (no processes) — same retry/manifest
+    semantics, useful under pytest and for debugging.  Jobs communicate
+    exclusively through the runner's ``cache_dir``, which is required.
+    """
+    if runner.cache_dir is None:
+        raise ValueError("a parallel sweep requires a cache_dir")
+    os.makedirs(runner.cache_dir, exist_ok=True)
+
+    jobs: list[SweepJob] = []
+    seen: set[str] = set()
+    for bench in benchmarks:
+        for sched in schedulers:
+            for seed in runner.seeds:
+                job = SweepJob(
+                    kind=runner.kind,
+                    bench=bench,
+                    scheduler=sched,
+                    scale=runner.scale.name,
+                    seed=seed,
+                    perfect=perfect,
+                    config_hash=runner.config_hash,
+                )
+                if job.job_id not in seen:
+                    seen.add(job.job_id)
+                    jobs.append(job)
+
+    manifest = load_manifest(runner.cache_dir, manifest_name)
+    results: list[JobResult] = []
+    todo: list[SweepJob] = []
+    for job in jobs:
+        entry = manifest.get(job.job_id)
+        cache_file = os.path.join(
+            runner.cache_dir,
+            runner.cache_name(job.bench, job.scheduler, job.seed, job.perfect),
+        )
+        if (
+            resume
+            and entry is not None
+            and entry.get("status") == "done"
+            and os.path.exists(cache_file)
+        ):
+            results.append(
+                JobResult(
+                    job,
+                    "skipped",
+                    simulated=False,
+                    sim_events=entry.get("sim_events", 0.0),
+                    sim_wall_s=entry.get("sim_wall_s", 0.0),
+                )
+            )
+        else:
+            todo.append(job)
+
+    say = progress if progress is not None else (lambda _msg: None)
+    t0 = time.time()
+    total = len(jobs)
+
+    def record(res: JobResult) -> None:
+        results.append(res)
+        manifest[res.job.job_id] = {
+            "status": res.status,
+            "simulated": res.simulated,
+            "wall_s": round(res.wall_s, 4),
+            "sim_events": res.sim_events,
+            "sim_wall_s": round(res.sim_wall_s, 4),
+            "retries": res.retries,
+            "error": res.error,
+        }
+        _save_manifest(runner.cache_dir, manifest, manifest_name)
+        finished = len(results)
+        elapsed = time.time() - t0
+        live = finished - len([r for r in results if r.status == "skipped"])
+        eta = (elapsed / live) * (total - finished) if live else 0.0
+        n_failed = sum(1 for r in results if r.status == "failed")
+        say(
+            f"[sweep] {finished}/{total} "
+            f"({n_failed} failed) | {elapsed:.0f}s elapsed, eta {eta:.0f}s"
+        )
+
+    def payload(job: SweepJob) -> tuple:
+        return (
+            runner.config,
+            job.scale,
+            runner.kind,
+            job.bench,
+            job.scheduler,
+            job.seed,
+            job.perfect,
+            runner.cache_dir,
+        )
+
+    if todo and workers <= 0:
+        _run_inline(todo, payload, retries, record, say)
+    elif todo:
+        _run_pool(todo, payload, workers, timeout_s, retries, record, say)
+
+    report = SweepReport(
+        results,
+        scale=runner.scale.name,
+        kind=runner.kind,
+        config_hash=runner.config_hash,
+        workers=workers,
+        wall_s=time.time() - t0,
+    )
+    say(report.format())
+    return report
+
+
+def _run_inline(todo, payload, retries, record, say) -> None:
+    for job in todo:
+        attempt = 0
+        while True:
+            t_start = time.time()
+            try:
+                _key, _summary, meta = run_one_job(payload(job))
+            except Exception as exc:
+                if attempt < retries:
+                    attempt += 1
+                    say(f"[sweep] retrying {job.job_id}: {exc}")
+                    continue
+                record(
+                    JobResult(
+                        job,
+                        "failed",
+                        wall_s=time.time() - t_start,
+                        retries=attempt,
+                        error=str(exc),
+                    )
+                )
+                break
+            record(
+                JobResult(
+                    job,
+                    "done",
+                    simulated=meta["simulated"],
+                    wall_s=meta["wall_s"],
+                    sim_events=meta["sim_events"],
+                    sim_wall_s=meta["sim_wall_s"],
+                    retries=attempt,
+                )
+            )
+            break
+
+
+def _run_pool(todo, payload, workers, timeout_s, retries, record, say) -> None:
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        tracked: dict = {}  # future -> (job, attempt, t_submit)
+
+        def submit(job: SweepJob, attempt: int) -> None:
+            try:
+                fut = pool.submit(run_one_job, payload(job))
+            except Exception as exc:  # pool already broken/shut down
+                record(JobResult(job, "failed", retries=attempt, error=str(exc)))
+                return
+            tracked[fut] = (job, attempt, time.time())
+
+        for job in todo:
+            submit(job, 0)
+
+        while tracked:
+            done, _pending = wait(
+                list(tracked),
+                timeout=_POLL_S if timeout_s is not None else None,
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.time()
+            for fut in done:
+                job, attempt, t_submit = tracked.pop(fut)
+                try:
+                    _key, _summary, meta = fut.result()
+                except Exception as exc:
+                    if attempt < retries:
+                        say(f"[sweep] retrying {job.job_id}: {exc}")
+                        submit(job, attempt + 1)
+                    else:
+                        record(
+                            JobResult(
+                                job,
+                                "failed",
+                                wall_s=now - t_submit,
+                                retries=attempt,
+                                error=str(exc),
+                            )
+                        )
+                else:
+                    record(
+                        JobResult(
+                            job,
+                            "done",
+                            simulated=meta["simulated"],
+                            wall_s=meta["wall_s"],
+                            sim_events=meta["sim_events"],
+                            sim_wall_s=meta["sim_wall_s"],
+                            retries=attempt,
+                        )
+                    )
+            if timeout_s is None:
+                continue
+            for fut in list(tracked):
+                job, attempt, t_submit = tracked[fut]
+                if now - t_submit <= timeout_s:
+                    continue
+                # Cancel if still queued; a running worker process cannot
+                # be killed through the pool API — the job is abandoned
+                # (its eventual result is ignored) and the slot freed when
+                # it finishes.
+                fut.cancel()
+                del tracked[fut]
+                if attempt < retries:
+                    say(f"[sweep] timeout, retrying {job.job_id}")
+                    submit(job, attempt + 1)
+                else:
+                    record(
+                        JobResult(
+                            job,
+                            "failed",
+                            wall_s=now - t_submit,
+                            retries=attempt,
+                            error=f"timeout after {timeout_s:.0f}s",
+                        )
+                    )

@@ -79,6 +79,8 @@ class MemoryController:
             self._p_drain = NULL_PROBE
 
         # Write queue and an index by line address for read forwarding.
+        # The index covers the overflow buffer too: a read must see every
+        # buffered write, wherever backpressure parked it.
         self.write_queue: list[MemoryRequest] = []
         self._wq_index: dict[int, MemoryRequest] = {}
         self._write_overflow: deque[MemoryRequest] = deque()
@@ -163,7 +165,10 @@ class MemoryController:
 
     def receive_write(self, req: MemoryRequest) -> None:
         req.t_mc_arrival = self.engine.now
-        if len(self.write_queue) >= self.mc.write_queue_entries:
+        # Index every buffered write — including overflowed ones — so
+        # write-to-read forwarding sees it; the newest write to a line wins.
+        self._wq_index[req.addr] = req
+        if len(self.write_queue) >= self.mc.write_queue_entries or self._write_overflow:
             self._write_overflow.append(req)
         else:
             self._admit_write(req)
@@ -174,8 +179,10 @@ class MemoryController:
         self._kick()
 
     def _admit_write(self, req: MemoryRequest) -> None:
+        # The forwarding index is maintained at receive time (it must not
+        # be reset here: an older overflow entry admitted later would
+        # shadow a newer write to the same line).
         self.write_queue.append(req)
-        self._wq_index[req.addr] = req
 
     # ------------------------------------------------------------------
     # pump

@@ -42,7 +42,16 @@ class WGBwController(WGMController):
         super()._insert_request(req, now)
 
     def _merb_gate(self, bank: int, open_row: int, now: int) -> None:
-        """Schedule filler row-hits before allowing the row change."""
+        """Schedule filler row-hits before allowing the row change.
+
+        Fillers are capped at the bank queue's remaining space (minus one
+        slot reserved for the row-miss request the caller is about to
+        insert): ``_room_for`` only guaranteed a single free slot, so an
+        uncapped gate could push the queue past ``command_queue_depth``.
+        """
+        room = self.cq.space(bank) - 1
+        if room <= 0:
+            return
         busy = self.cq.busy_banks()
         if not self.cq.queues[bank]:
             busy += 1  # the target bank is about to have work
@@ -50,17 +59,18 @@ class WGBwController(WGMController):
         need = self._merb[busy]
 
         pending = self.sorter.pending_hits(bank, open_row)
-        while pending and self.cq.hits_since_row_change[bank] < need:
+        while pending and room > 0 and self.cq.hits_since_row_change[bank] < need:
             filler = pending[0]
             self.sorter.remove_request(filler)
             self.cq.insert(filler, now)
             self.stats.merb_deferrals += 1
+            room -= 1
             pending = self.sorter.pending_hits(bank, open_row)
 
         # Orphan control: don't strand one or two hits behind the row change.
         pending = self.sorter.pending_hits(bank, open_row)
         if 0 < len(pending) <= ORPHAN_LIMIT:
-            for filler in list(pending):
+            for filler in list(pending)[:room]:
                 self.sorter.remove_request(filler)
                 self.cq.insert(filler, now)
                 self.stats.orphan_rescues += 1

@@ -88,7 +88,13 @@ def test_seed_spread():
     assert one.seed_spread("sad", "gmc")[1] == 0.0
 
 
-def test_tagged_runners_do_not_collide(tmp_path):
+def test_distinct_configs_get_distinct_cache_entries(tmp_path):
+    """Regression: two different SimConfigs must never share a cache entry.
+
+    Pre-fix, the cache was keyed by a manual tag, so two runners with
+    different configs (and no tag) silently read each other's results.
+    Content-hash keys make the collision impossible.
+    """
     base = ExperimentRunner(scale=Scale.TINY, seeds=(1,), cache_dir=str(tmp_path))
     alpha = ExperimentRunner(
         config=dataclasses.replace(
@@ -97,13 +103,43 @@ def test_tagged_runners_do_not_collide(tmp_path):
         scale=Scale.TINY,
         seeds=(1,),
         cache_dir=str(tmp_path),
-        tag="alpha0.25",
     )
-    base.run("sad", "sbwas", seed=1)
-    alpha.run("sad", "sbwas", seed=1)
-    names = [p.name for p in tmp_path.iterdir()]
-    assert any("alpha0.25" in n for n in names)
-    assert any("alpha0.25" not in n for n in names)
+    assert base.config_hash != alpha.config_hash
+    a = base.run("sad", "sbwas", seed=1)
+    b = alpha.run("sad", "sbwas", seed=1)
+    assert a["ipc"] != b["ipc"]  # the alpha change is visible, not masked
+    names = [p.name for p in tmp_path.iterdir() if p.suffix == ".json"]
+    assert len(names) == 2
+    assert any(base.config_hash in n for n in names)
+    assert any(alpha.config_hash in n for n in names)
+    # A fresh runner with the tweaked config reloads its own entry.
+    alpha2 = ExperimentRunner(
+        config=alpha.config, scale=Scale.TINY, seeds=(1,), cache_dir=str(tmp_path)
+    )
+    assert alpha2.run("sad", "sbwas", seed=1) == b
+    assert alpha2.last_outcome == "disk"
+
+
+def test_config_hash_is_stable_and_sensitive():
+    from repro.analysis.runner import config_hash
+
+    assert config_hash(SimConfig()) == config_hash(SimConfig())
+    tweaked = dataclasses.replace(
+        SimConfig(), mc=dataclasses.replace(SimConfig().mc, command_queue_depth=8)
+    )
+    assert config_hash(SimConfig()) != config_hash(tweaked)
+
+
+def test_atomic_write_json_leaves_no_temp_files(tmp_path):
+    from repro.analysis.runner import atomic_write_json
+
+    path = tmp_path / "sub" / "x.json"
+    atomic_write_json(str(path), {"a": 1})
+    atomic_write_json(str(path), {"a": 2})  # overwrite in place
+    import json
+
+    assert json.loads(path.read_text()) == {"a": 2}
+    assert [p.name for p in path.parent.iterdir()] == ["x.json"]
 
 
 # -- drivers ---------------------------------------------------------------------

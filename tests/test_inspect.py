@@ -62,13 +62,18 @@ def test_signature_empty_trace():
 # -- parallel sweep -------------------------------------------------------------
 def test_run_one_job_roundtrip(tmp_path):
     from repro.analysis.runner import run_one_job
-    from repro.workloads.suite import Scale
 
-    key, summary = run_one_job(
-        (SimConfig(), "TINY", "synthetic", "sad", "gmc", 1, False, str(tmp_path), "")
+    key, summary, meta = run_one_job(
+        (SimConfig(), "TINY", "synthetic", "sad", "gmc", 1, False, str(tmp_path))
     )
     assert key == ("sad", "gmc", 1, False)
     assert summary["ipc"] > 0
+    assert meta["simulated"] and meta["sim_events"] > 0
+    # A second invocation is served from the disk cache.
+    _key, _summary, meta2 = run_one_job(
+        (SimConfig(), "TINY", "synthetic", "sad", "gmc", 1, False, str(tmp_path))
+    )
+    assert not meta2["simulated"]
 
 
 def test_prefetch_parallel_fills_cache(tmp_path):
@@ -78,10 +83,11 @@ def test_prefetch_parallel_fills_cache(tmp_path):
     r = ExperimentRunner(scale=Scale.TINY, seeds=(1,), cache_dir=str(tmp_path))
     n = prefetch_parallel(r, ["sad"], ["gmc", "wg"], workers=2)
     assert n == 2
-    files = list(tmp_path.iterdir())
-    assert len(files) == 2
+    files = [p for p in tmp_path.iterdir() if p.suffix == ".json"]
+    assert len(files) == 2 + 1  # two results + the sweep manifest
     # The runner now serves results without simulating.
     assert r.mean("sad", "gmc")["ipc"] > 0
+    assert r.last_outcome == "disk"
 
 
 def test_prefetch_requires_cache_dir():

@@ -68,6 +68,60 @@ def test_read_queue_backpressure_overflow(harness):
     assert h.mc.pending_work() == 0
 
 
+def test_read_forwarded_from_overflowed_write(harness):
+    """Regression: a write parked in the overflow buffer must still be
+    visible to write-to-read forwarding.  Pre-fix, only writes admitted to
+    the write queue were indexed, so a read to an overflowed write's line
+    went to DRAM instead of being answered from the buffer."""
+    cfg = dataclasses.replace(
+        SimConfig(), mc=dataclasses.replace(SimConfig().mc, write_queue_entries=4)
+    )
+    h = harness("gmc", cfg)
+    for i in range(4):  # fill the write queue
+        h.write(bank=0, row=i)
+    parked = h.write(bank=1, row=9)  # lands in _write_overflow
+    assert len(h.mc._write_overflow) == 1
+    r = h.read(bank=1, row=9, addr=parked.addr)
+    assert r.serviced_by == "wq"  # pre-fix: "dram"
+    h.run()
+    assert h.stats.writes == 5  # every buffered write still drains
+    assert h.mc.pending_work() == 0
+
+
+def test_forwarding_prefers_newest_write_across_overflow(harness):
+    """With the same line buffered both in the queue and in overflow, the
+    overflow entry is newer and must win the forwarding index."""
+    cfg = dataclasses.replace(
+        SimConfig(), mc=dataclasses.replace(SimConfig().mc, write_queue_entries=2)
+    )
+    h = harness("gmc", cfg)
+    first = h.write(bank=0, row=1, col=3)
+    h.write(bank=0, row=2)
+    newest = h.write(bank=0, row=1, col=3, addr=first.addr)  # overflows
+    assert h.mc._wq_index[first.addr] is newest
+    r = h.read(bank=0, row=1, col=3, addr=first.addr)
+    assert r.serviced_by == "wq"
+    h.run()
+    assert h.mc.pending_work() == 0
+    assert h.mc._wq_index == {}  # drained writes are fully de-indexed
+
+
+def test_write_overflow_drains_in_fifo_order(harness):
+    """A write arriving while the overflow buffer is non-empty must queue
+    behind it (not jump into freed write-queue space out of order)."""
+    cfg = dataclasses.replace(
+        SimConfig(), mc=dataclasses.replace(SimConfig().mc, write_queue_entries=2)
+    )
+    h = harness("gmc", cfg)
+    for i in range(3):
+        h.write(bank=0, row=i)
+    late = h.write(bank=0, row=7)
+    assert list(h.mc._write_overflow)[-1] is late
+    h.run()
+    assert h.stats.writes == 4
+    assert h.mc.pending_work() == 0
+
+
 def test_row_hit_stream_counted(harness):
     h = harness("gmc")
     for i in range(6):

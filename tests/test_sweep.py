@@ -1,0 +1,144 @@
+"""Tests for the robust parallel sweep harness (repro.analysis.sweep)."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.sweep import MANIFEST_NAME, load_manifest, run_sweep
+from repro.workloads.suite import Scale
+
+
+def tiny_runner(tmp_path, seeds=(1,)) -> ExperimentRunner:
+    return ExperimentRunner(scale=Scale.TINY, seeds=seeds, cache_dir=str(tmp_path))
+
+
+def test_sweep_requires_cache_dir():
+    r = ExperimentRunner(scale=Scale.TINY, seeds=(1,))
+    with pytest.raises(ValueError):
+        run_sweep(r, ["sad"], ["gmc"])
+
+
+def test_inline_sweep_fills_cache_and_manifest(tmp_path):
+    r = tiny_runner(tmp_path)
+    report = run_sweep(r, ["sad"], ["gmc", "wg"], workers=0)
+    assert report.n_done == 2 and report.n_failed == 0
+    assert report.n_simulated == 2
+    assert report.events_total > 0
+    manifest = load_manifest(str(tmp_path))
+    assert len(manifest) == 2
+    assert all(e["status"] == "done" for e in manifest.values())
+    # Every published cache entry is complete, parseable JSON.
+    for p in tmp_path.iterdir():
+        if p.suffix == ".json" and p.name != MANIFEST_NAME:
+            assert json.loads(p.read_text())["ipc"] > 0
+
+
+def test_interrupted_sweep_resumes_without_resimulating(tmp_path):
+    """A killed-then-resumed sweep re-simulates zero finished jobs."""
+    r = tiny_runner(tmp_path)
+    # "Interrupted" run: only part of the grid completed before the kill.
+    first = run_sweep(r, ["sad"], ["gmc", "wg"], workers=0)
+    assert first.n_simulated == 2
+    mtimes = {p.name: p.stat().st_mtime_ns for p in tmp_path.iterdir()}
+    # Resumed run over the full grid.
+    r2 = tiny_runner(tmp_path)
+    second = run_sweep(r2, ["sad"], ["gmc", "wg", "wg-m"], workers=0, resume=True)
+    assert second.n_skipped == 2  # the finished jobs were not touched
+    assert second.n_simulated == 1  # only the new cell ran
+    assert second.n_failed == 0
+    for p in tmp_path.iterdir():
+        if p.name in mtimes and p.name != MANIFEST_NAME:
+            assert p.stat().st_mtime_ns == mtimes[p.name], p.name
+    # A third resume is a complete no-op.
+    third = run_sweep(
+        tiny_runner(tmp_path), ["sad"], ["gmc", "wg", "wg-m"], workers=0, resume=True
+    )
+    assert third.n_skipped == 3 and third.n_simulated == 0
+
+
+def test_without_resume_manifest_is_ignored_but_cache_still_hits(tmp_path):
+    r = tiny_runner(tmp_path)
+    run_sweep(r, ["sad"], ["gmc"], workers=0)
+    again = run_sweep(tiny_runner(tmp_path), ["sad"], ["gmc"], workers=0)
+    assert again.n_done == 1
+    assert again.n_simulated == 0 and again.n_cached == 1
+
+
+def test_injected_crash_fails_only_that_job_and_is_retried(tmp_path, monkeypatch):
+    """A worker crash fails only its job; one retry lets the sweep finish."""
+    monkeypatch.setenv("REPRO_SWEEP_CRASH", "sad:wg:1")
+    r = tiny_runner(tmp_path)
+    report = run_sweep(r, ["sad"], ["gmc", "wg"], workers=2, retries=1)
+    assert report.n_failed == 0 and report.n_done == 2
+    crashed = [x for x in report.results if x.job.scheduler == "wg"]
+    assert crashed[0].retries == 1  # resubmitted exactly once
+    # All cache entries are intact (no partial JSON from the crashed worker).
+    manifest = load_manifest(str(tmp_path))
+    assert all(e["status"] == "done" for e in manifest.values())
+
+
+def test_injected_crash_without_retry_budget_is_isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_CRASH", "sad:wg:1")
+    r = tiny_runner(tmp_path)
+    report = run_sweep(r, ["sad"], ["gmc", "wg"], workers=2, retries=0)
+    assert report.n_failed == 1  # only the crashed job
+    assert report.n_done == 1  # the rest of the sweep completed
+    assert "injected crash" in report.failed[0].error
+    with pytest.raises(RuntimeError):
+        report.raise_on_failure()
+    # The failed job is NOT marked done: a resume retries it (and the
+    # crash marker makes the second attempt succeed).
+    resumed = run_sweep(
+        tiny_runner(tmp_path), ["sad"], ["gmc", "wg"], workers=0,
+        retries=0, resume=True,
+    )
+    assert resumed.n_failed == 0
+    assert resumed.n_skipped == 1 and resumed.n_simulated == 1
+
+
+def test_bench_report_schema(tmp_path):
+    r = tiny_runner(tmp_path)
+    report = run_sweep(r, ["sad"], ["gmc"], workers=0)
+    out = tmp_path / "BENCH_sweep.json"
+    report.write_bench(str(out))
+    doc = json.loads(out.read_text())
+    assert doc["schema_version"] == 1
+    assert doc["jobs_total"] == 1 and doc["jobs_done"] == 1
+    assert doc["config_hash"] == r.config_hash
+    (job,) = doc["jobs"]
+    assert job["bench"] == "sad" and job["scheduler"] == "gmc"
+    assert job["status"] == "done" and job["simulated"]
+    assert job["events_per_sec"] > 0
+    assert doc["events_per_sec"] > 0
+
+
+def test_corrupt_manifest_is_tolerated(tmp_path):
+    (tmp_path / MANIFEST_NAME).write_text("{not json")
+    r = tiny_runner(tmp_path)
+    report = run_sweep(r, ["sad"], ["gmc"], workers=0, resume=True)
+    assert report.n_done == 1
+    assert load_manifest(str(tmp_path))  # rewritten in valid form
+
+
+def test_resume_reruns_job_whose_cache_entry_vanished(tmp_path):
+    r = tiny_runner(tmp_path)
+    run_sweep(r, ["sad"], ["gmc"], workers=0)
+    for p in tmp_path.iterdir():
+        if p.name != MANIFEST_NAME:
+            os.unlink(p)  # cache evicted behind the manifest's back
+    report = run_sweep(
+        tiny_runner(tmp_path), ["sad"], ["gmc"], workers=0, resume=True
+    )
+    assert report.n_skipped == 0 and report.n_done == 1
+
+
+def test_progress_reports_counts_and_eta(tmp_path):
+    lines = []
+    r = tiny_runner(tmp_path)
+    run_sweep(r, ["sad"], ["gmc", "wg"], workers=0, progress=lines.append)
+    assert any("1/2" in ln for ln in lines)
+    assert any("2/2" in ln for ln in lines)
+    assert "eta" in lines[0]
+    assert "jobs done" in lines[-1]  # final summary line

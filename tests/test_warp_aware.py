@@ -146,6 +146,155 @@ def test_orphan_control_rescues_stranded_hits():
     assert order == orphans + [miss]
 
 
+def test_merb_gate_respects_command_queue_depth():
+    """Regression: the MERB gate must not push a bank's command queue past
+    ``command_queue_depth``.  Pre-fix it inserted fillers until the MERB
+    threshold (up to 31 hit-bursts) was met, even though ``_room_for``
+    only guaranteed one free slot."""
+    h = MCHarness("wg-bw")
+    mc = h.mc
+    depth = mc.cq.depth
+    mc.cq.last_sched_row[0] = 1  # planning-time open row on bank 0
+    from repro.core.request import LoadTransaction
+
+    bg = LoadTransaction(0, 9, n_requests=32, t_issue=0)
+    for i in range(3 * depth):  # far more pending hits than queue space
+        r = make_request(bank=0, row=1, col=i, warp_id=9)
+        r.transaction = bg
+        mc.sorter.add(r, 0)
+    miss = make_request(bank=0, row=77, warp_id=2)
+    miss.transaction = LoadTransaction(0, 2, n_requests=1, t_issue=0)
+    mc.sorter.add(miss, 0)
+    mc._insert_request(miss, 0)
+    # Pre-fix: 3*depth fillers + the miss in a `depth`-deep queue.
+    assert mc.cq.occupancy(0) <= depth
+    # The gate still made progress: it used every slot it could while
+    # reserving one for the row-miss itself.
+    assert h.stats.merb_deferrals == depth - 1
+    assert mc.cq.queues[0][-1].req is miss
+
+
+def test_merb_gate_noop_when_queue_full():
+    """With no free slot beyond the miss's own, the gate defers nothing."""
+    h = MCHarness("wg-bw")
+    mc = h.mc
+    from repro.core.request import LoadTransaction
+
+    filler_txn = LoadTransaction(0, 9, n_requests=32, t_issue=0)
+    for i in range(mc.cq.depth - 1):  # leave exactly one slot
+        seed = make_request(bank=0, row=1, col=i, warp_id=7)
+        mc.sorter.add(seed, 0)
+        mc._insert_request(seed, 0)
+    stray = make_request(bank=0, row=1, col=14, warp_id=9)
+    stray.transaction = filler_txn
+    mc.sorter.add(stray, 0)
+    before = h.stats.merb_deferrals
+    miss = make_request(bank=0, row=77, warp_id=2)
+    miss.transaction = LoadTransaction(0, 2, n_requests=1, t_issue=0)
+    mc.sorter.add(miss, 0)
+    mc._insert_request(miss, 0)
+    assert h.stats.merb_deferrals == before
+    assert mc.cq.occupancy(0) == mc.cq.depth
+
+
+def test_wgbw_command_queues_never_exceed_depth_end_to_end(harness):
+    """System-level guard: with singleton foreground groups (so the base
+    scheduler itself never overshoots), the MERB gate must keep bank 0's
+    queue within its configured depth at every insert."""
+    h = harness("wg-bw")
+    depth = h.mc.cq.depth
+    send_group(h, warp_id=1, specs=[(0, 1)])  # prime bank 0 on row 1
+    h.run()
+    h.delivered.clear()
+    from repro.core.request import LoadTransaction
+
+    bg = LoadTransaction(0, 9, n_requests=16, t_issue=h.engine.now)
+    for i in range(12):  # incomplete background hits: filler candidates
+        r = make_request(bank=0, row=1, col=i, warp_id=9)
+        r.transaction = bg
+        bg.note_dispatched(0)
+        h.mc.receive_read(r)
+    original_insert = h.mc.cq.insert
+    max_seen = 0
+
+    def checked_insert(req, now_ps):
+        nonlocal max_seen
+        entry = original_insert(req, now_ps)
+        max_seen = max(max_seen, h.mc.cq.occupancy(req.bank))
+        return entry
+
+    h.mc.cq.insert = checked_insert
+    send_group(h, warp_id=2, specs=[(0, 77)])  # row miss triggers the gate
+    h.run(max_events=400_000)
+    # Pre-fix the gate pulled all 12 hits at once (occupancy 13 > depth).
+    assert max_seen <= depth
+    # Post-fix: depth-1 fillers plus the miss were serviced.
+    assert len(h.delivered) == depth
+
+
+# ---------------------------------------------------------------------------
+# WG pressure fallback (read queue full, no complete group)
+# ---------------------------------------------------------------------------
+def incomplete_singleton(h, warp_id: int, bank: int, row: int):
+    """A one-request group whose size announcement never arrives (the
+    transaction claims a second request that is never dispatched)."""
+    from repro.core.request import LoadTransaction
+
+    txn = LoadTransaction(
+        0, warp_id, n_requests=2, t_issue=h.engine.now,
+        on_group_complete=lambda ch, key, n: h.mc.receive_group_complete(key, n),
+    )
+    req = make_request(bank=bank, row=row, warp_id=warp_id)
+    req.transaction = txn
+    txn.note_dispatched(0)
+    h.mc.receive_read(req)
+    return req
+
+
+def test_pressure_fallback_services_incomplete_groups(harness):
+    """With the read queue full and no complete group, the fallback must
+    partially service the oldest groups instead of deadlocking."""
+    cfg = dataclasses.replace(
+        SimConfig(), mc=dataclasses.replace(SimConfig().mc, read_queue_entries=4)
+    )
+    h = harness("wg", cfg)
+    reqs = [incomplete_singleton(h, warp_id=i, bank=i % 4, row=i) for i in range(6)]
+    assert h.stats.read_queue_full_events > 0  # backpressure reached
+    h.run(max_events=400_000)
+    assert len(h.delivered) == 6  # nothing deadlocked
+    assert {r.req_id for r in h.delivered} == {r.req_id for r in reqs}
+    assert h.mc.pending_work() == 0
+    # Oldest-first: the fallback drains groups in arrival order.
+    assert reqs[0].t_scheduled <= reqs[-1].t_scheduled
+
+
+def test_no_fallback_below_queue_pressure(harness):
+    """Incomplete groups wait for their stragglers while the read queue
+    has room: the fallback must NOT fire."""
+    h = harness("wg")
+    incomplete_singleton(h, warp_id=1, bank=0, row=1)
+    incomplete_singleton(h, warp_id=2, bank=1, row=2)
+    h.run()
+    assert len(h.delivered) == 0  # still waiting, by design
+    assert h.mc.pending_work() == 2
+    assert not h.mc.sorter.empty()
+
+
+def test_fallback_unblocks_arrival_of_completions(harness):
+    """After a pressure spill, a late size announcement still completes
+    the remaining groups normally."""
+    cfg = dataclasses.replace(
+        SimConfig(), mc=dataclasses.replace(SimConfig().mc, read_queue_entries=4)
+    )
+    h = harness("wg", cfg)
+    reqs = [incomplete_singleton(h, warp_id=i, bank=i % 4, row=i) for i in range(5)]
+    # One group's announcement eventually arrives (size = what it holds).
+    h.engine.schedule_at(500, lambda: h.mc.receive_group_complete((0, 4), 1))
+    h.run(max_events=400_000)
+    assert len(h.delivered) == 5
+    assert all(r.t_data > 0 for r in reqs)
+
+
 # ---------------------------------------------------------------------------
 # WG-W write-aware drain (§IV-E)
 # ---------------------------------------------------------------------------
@@ -161,6 +310,21 @@ def test_wgw_promotes_unit_groups_near_drain(harness):
     h.run(max_events=400_000)
     assert h.stats.wgw_promotions >= 1
     assert unit.t_scheduled <= min(r.t_scheduled for r in big)
+
+
+def test_wgw_no_promotion_below_guard_band(harness):
+    """One write short of the guard band: unit groups keep their normal
+    rank and no promotion is counted."""
+    h = harness("wg-w")
+    guard = h.config.mc.write_high_watermark - h.config.mc.wgw_drain_guard_entries
+    for i in range(guard - 1):
+        h.write(bank=4 + i % 4, row=i)
+    send_group(h, warp_id=1, specs=[(0, 1), (0, 1), (0, 1)])
+    unit = send_group(h, warp_id=2, specs=[(0, 50)])[0]
+    h.run(max_events=400_000)
+    assert h.stats.wgw_promotions == 0
+    assert unit.t_data > 0
+    assert h.mc.pending_work() == 0
 
 
 def test_wgw_behaves_like_wgbw_without_write_pressure(harness):
