@@ -4,7 +4,10 @@ Subcommands:
 
 * ``run BENCH``   — simulate one benchmark under one scheduler and print
   the summary metrics (``--json`` for machine-readable output;
-  ``--metrics-out`` / ``--trace-out`` to export telemetry);
+  ``--metrics-out`` / ``--trace-out`` to export telemetry;
+  ``--audit`` / ``--invariants`` for runtime guardrails;
+  ``--checkpoint-period`` / ``--restore-from`` for snapshots — see
+  docs/robustness.md);
 * ``trace BENCH`` — run with full telemetry (interval metrics, request
   lifecycle trace, engine profile) and write a Chrome trace-event JSON
   loadable in Perfetto;
@@ -36,18 +39,26 @@ from repro import (
 from repro.analysis import format_table, run_all
 from repro.analysis.runner import ExperimentRunner
 from repro.analysis.sweep import run_sweep
+from repro.dram.validate import ProtocolViolationError
+from repro.guardrails import (
+    CheckpointError,
+    GuardrailConfig,
+    InvariantViolation,
+    load_checkpoint,
+    peek_checkpoint,
+)
 from repro.telemetry import TelemetryHub
 
 
 def _trace(args, cfg):
-    if args.kind == "synthetic":
+    kind = args.kind or "synthetic"
+    scale = Scale[(args.scale or "quick").upper()]
+    seed = 1 if args.seed is None else args.seed
+    if kind == "synthetic":
         return synthetic_trace(
-            ALL_PROFILES[args.benchmark], cfg, seed=args.seed,
-            scale=Scale[args.scale.upper()].factor,
+            ALL_PROFILES[args.benchmark], cfg, seed=seed, scale=scale.factor
         )
-    return build_benchmark(
-        args.benchmark, cfg, Scale[args.scale.upper()], seed=args.seed
-    )
+    return build_benchmark(args.benchmark, cfg, scale, seed=seed)
 
 
 def _make_hub(args, force: bool = False) -> TelemetryHub | None:
@@ -92,15 +103,114 @@ def _write_outputs(args, stats, hub: TelemetryHub | None) -> None:
         )
 
 
-def cmd_run(args) -> int:
-    cfg = SimConfig(scheduler=args.scheduler)
-    hub = _make_hub(args)
-    stats = simulate(cfg, _trace(args, cfg), telemetry=hub)
+def _check_run_flags(args) -> str | None:
+    """Reject nonsensical ``run`` flag combinations (message, or None)."""
+    telemetry = [
+        flag
+        for flag, on in (
+            ("--metrics-out", args.metrics_out is not None),
+            ("--trace-out", args.trace_out is not None),
+            ("--profile", args.profile),
+        )
+        if on
+    ]
+    if args.checkpoint_period is not None and args.checkpoint_out is None:
+        return "--checkpoint-period needs --checkpoint-out PATH"
+    if args.checkpoint_out is not None and args.checkpoint_period is None:
+        return "--checkpoint-out needs --checkpoint-period NS"
+    if args.checkpoint_period is not None and telemetry:
+        return (
+            "checkpoints cannot carry telemetry state (live file handles); "
+            f"drop {', '.join(telemetry)} or the checkpoint flags"
+        )
+    if args.restore_from is None:
+        if args.benchmark is None:
+            return "a benchmark is required (or --restore-from SNAPSHOT)"
+        return None
+    # --restore-from resumes a finished snapshot: the workload, seed and
+    # scale are baked into it, so flags that would pick a different run
+    # are contradictions, not modifiers.
+    if args.benchmark is not None:
+        return "--restore-from resumes a snapshot; drop the benchmark argument"
+    for flag, given in (
+        ("--seed", args.seed is not None),
+        ("--scale", args.scale is not None),
+        ("--kind", args.kind is not None),
+        ("--scheduler", args.scheduler is not None),
+    ):
+        if given:
+            return f"{flag} is baked into the snapshot; drop it with --restore-from"
+    if args.audit or args.invariants:
+        return (
+            "--audit/--invariants cannot attach mid-run; the snapshot resumes "
+            "with the guardrails it was taken with"
+        )
+    if telemetry:
+        return f"telemetry cannot attach mid-run; drop {', '.join(telemetry)}"
+    return None
+
+
+def _guardrails_from_args(args) -> GuardrailConfig | None:
+    if not (args.audit or args.invariants or args.checkpoint_period):
+        return None
+    return GuardrailConfig(
+        invariants=args.invariants,
+        audit=args.audit,
+        checkpoint_period_ns=args.checkpoint_period or 0.0,
+        checkpoint_path=args.checkpoint_out,
+    )
+
+
+def _print_summary(args, stats) -> None:
     if args.json:
         print(json.dumps(stats.summary(), indent=2))
     else:
         for key, value in stats.summary().items():
             print(f"{key:24s} {value:.4f}")
+
+
+def _run_restored(args) -> int:
+    """``run --restore-from``: rehydrate a snapshot and finish the run."""
+    meta = peek_checkpoint(args.restore_from)
+    print(
+        f"[repro] restoring {args.restore_from}: scheduler={meta['scheduler']} "
+        f"t={meta['now_ps'] / 1000:.1f}ns "
+        f"({meta['warps_done']} warps done, "
+        f"{meta['events_processed']} events processed)",
+        file=sys.stderr,
+    )
+    system = load_checkpoint(args.restore_from)
+    # A fresh guardrail config replaces the pickled one: pending faults
+    # must not re-fire, and the caller may want new checkpoints.
+    system.guardrails = _guardrails_from_args(args)
+    system.injector = None
+    stats = system.resume()
+    _print_summary(args, stats)
+    _report_run(stats, None)
+    return 0
+
+
+def cmd_run(args) -> int:
+    problem = _check_run_flags(args)
+    if problem:
+        print(f"repro run: error: {problem}", file=sys.stderr)
+        return 2
+    try:
+        if args.restore_from is not None:
+            return _run_restored(args)
+        cfg = SimConfig(scheduler=args.scheduler or "wg-w")
+        hub = _make_hub(args)
+        stats = simulate(
+            cfg, _trace(args, cfg), telemetry=hub,
+            guardrails=_guardrails_from_args(args),
+        )
+    except CheckpointError as exc:
+        print(f"repro run: error: {exc}", file=sys.stderr)
+        return 2
+    except (InvariantViolation, ProtocolViolationError) as exc:
+        print(f"repro run: guardrail tripped: {exc}", file=sys.stderr)
+        return 1
+    _print_summary(args, stats)
     _write_outputs(args, stats, hub)
     _report_run(stats, hub)
     return 0
@@ -205,17 +315,22 @@ def main(argv: list[str] | None = None) -> int:
     sub = ap.add_subparsers(dest="cmd", required=True)
 
     def common(p):
-        p.add_argument("--scale", default="quick",
-                       choices=[s.name.lower() for s in Scale])
-        p.add_argument("--seed", type=int, default=1)
-        p.add_argument("--kind", default="synthetic",
-                       choices=["synthetic", "algorithmic"])
+        # Defaults resolve to quick/1/synthetic in _trace; None here lets
+        # ``run --restore-from`` tell "explicitly given" from "default".
+        p.add_argument("--scale", default=None,
+                       choices=[s.name.lower() for s in Scale],
+                       help="workload scale (default quick)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="trace RNG seed (default 1)")
+        p.add_argument("--kind", default=None,
+                       choices=["synthetic", "algorithmic"],
+                       help="trace generator (default synthetic)")
 
     def positive_ns(text: str) -> float:
         period = float(text)
         if period <= 0:
             raise argparse.ArgumentTypeError(
-                f"sampling period must be > 0 ns, got {text}"
+                f"period must be > 0 ns, got {text}"
             )
         return period
 
@@ -228,14 +343,35 @@ def main(argv: list[str] | None = None) -> int:
                        metavar="NS", help="sampling period in ns (default 100)")
 
     p_run = sub.add_parser("run", help="simulate one benchmark")
-    p_run.add_argument("benchmark", choices=sorted(benchmark_names()))
-    p_run.add_argument("--scheduler", default="wg-w", choices=sorted(SCHEDULERS))
+    p_run.add_argument("benchmark", nargs="?", default=None,
+                       choices=sorted(benchmark_names()))
+    p_run.add_argument("--scheduler", default=None, choices=sorted(SCHEDULERS),
+                       help="memory scheduler (default wg-w)")
     common(p_run)
     telemetry_flags(p_run)
     p_run.add_argument("--json", action="store_true",
                        help="print the summary as JSON instead of a table")
     p_run.add_argument("--profile", action="store_true",
                        help="attribute wall-clock time to model components")
+    guard = p_run.add_argument_group(
+        "runtime guardrails (docs/robustness.md)"
+    )
+    guard.add_argument("--invariants", action="store_true",
+                       help="online invariant monitor: conservation, "
+                            "occupancy, forward-progress watchdogs")
+    guard.add_argument("--audit", action="store_true",
+                       help="stream-audit every DRAM command against the "
+                            "GDDR5 protocol rules; abort on violation")
+    guard.add_argument("--checkpoint-period", type=positive_ns, default=None,
+                       metavar="NS",
+                       help="snapshot the full simulator state every NS of "
+                            "simulated time (needs --checkpoint-out)")
+    guard.add_argument("--checkpoint-out", default=None, metavar="PATH",
+                       help="where periodic snapshots are written "
+                            "(atomically overwritten in place)")
+    guard.add_argument("--restore-from", default=None, metavar="PATH",
+                       help="resume a snapshot to completion instead of "
+                            "starting a benchmark")
     p_run.set_defaults(fn=cmd_run)
 
     p_tr = sub.add_parser(

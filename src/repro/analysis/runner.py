@@ -38,7 +38,10 @@ import time
 from typing import Optional
 
 from repro.core.config import SimConfig
-from repro.gpu.system import simulate
+from repro.gpu.system import GPUSystem, simulate
+from repro.guardrails.checkpoint import CheckpointError, load_checkpoint
+from repro.guardrails.config import GuardrailConfig
+from repro.guardrails.faults import FaultSpec
 from repro.idealized import perfect_coalescing
 from repro.workloads.profiles import ALL_PROFILES, IRREGULAR_BENCHMARKS, REGULAR_BENCHMARKS
 from repro.workloads.suite import Scale, build_benchmark
@@ -99,11 +102,13 @@ def atomic_write_json(path: str, obj) -> None:
 def run_one_job(job: tuple) -> tuple:
     """Worker entry point for parallel sweeps (must be module-level for
     pickling).  ``job`` = (config, scale_name, kind, bench, scheduler,
-    seed, perfect, cache_dir); returns ((bench, scheduler, seed, perfect),
-    summary, meta) where ``meta`` records whether the job actually
-    simulated plus its wall time and engine event count.
+    seed, perfect, cache_dir[, checkpoint_period_ns]); returns
+    ((bench, scheduler, seed, perfect), summary, meta) where ``meta``
+    records whether the job actually simulated (and whether it resumed
+    from a checkpoint) plus its wall time and engine event count.
     """
-    config, scale_name, kind, bench, scheduler, seed, perfect, cache_dir = job
+    config, scale_name, kind, bench, scheduler, seed, perfect, cache_dir = job[:8]
+    checkpoint_period_ns = job[8] if len(job) > 8 else 0.0
     _maybe_inject_crash(cache_dir, bench, scheduler, seed)
     runner = ExperimentRunner(
         config=config,
@@ -111,11 +116,13 @@ def run_one_job(job: tuple) -> tuple:
         seeds=(seed,),
         kind=kind,
         cache_dir=cache_dir,
+        checkpoint_period_ns=checkpoint_period_ns,
     )
     t0 = time.time()
     summary = runner.run(bench, scheduler, seed, perfect)
     meta = {
-        "simulated": runner.last_outcome == "simulated",
+        "simulated": runner.last_outcome in ("simulated", "resumed"),
+        "resumed": runner.last_outcome == "resumed",
         "wall_s": time.time() - t0,
         "sim_events": summary.get("sim_events", 0.0),
         "sim_wall_s": summary.get("sim_wall_s", 0.0),
@@ -139,6 +146,28 @@ def _maybe_inject_crash(cache_dir, bench: str, scheduler: str, seed: int) -> Non
         return  # already crashed once; let the retry succeed
     os.close(fd)
     raise RuntimeError(f"injected crash for {bench}/{scheduler}/{seed}")
+
+
+def _crash_mid_run_faults(
+    cache_dir, bench: str, scheduler: str, seed: int
+) -> tuple[FaultSpec, ...]:
+    """Test hook: ``REPRO_SWEEP_CRASH_AT=bench:scheduler:seed:at_ns`` makes
+    the matching job die *mid-simulation* exactly once, after any
+    checkpoints written before ``at_ns`` — so the retry proves the
+    resume-from-checkpoint path.  A marker file keeps the retry alive."""
+    target = os.environ.get("REPRO_SWEEP_CRASH_AT")
+    if not target or cache_dir is None:
+        return ()
+    ident, _, at_ns = target.rpartition(":")
+    if ident != f"{bench}:{scheduler}:{seed}":
+        return ()
+    marker = os.path.join(cache_dir, f".crashed-at-{bench}-{scheduler}-{seed}")
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return ()  # already crashed once; the retry runs fault-free
+    os.close(fd)
+    return (FaultSpec("crash", at_ns=float(at_ns)),)
 
 
 def prefetch_parallel(
@@ -175,17 +204,22 @@ class ExperimentRunner:
         kind: str = "synthetic",
         cache_dir: Optional[str] = None,
         verbose: bool = False,
+        checkpoint_period_ns: float = 0.0,
     ) -> None:
         if kind not in ("synthetic", "algorithmic"):
             raise ValueError("kind must be 'synthetic' or 'algorithmic'")
+        if checkpoint_period_ns > 0 and cache_dir is None:
+            raise ValueError("checkpoint_period_ns requires a cache_dir")
         self.config = config or SimConfig()
         self.scale = scale
         self.seeds = seeds
         self.kind = kind
         self.cache_dir = cache_dir
         self.verbose = verbose
+        self.checkpoint_period_ns = checkpoint_period_ns
         self.config_hash = config_hash(self.config)
-        self.last_outcome = ""  # "memo" | "disk" | "simulated" (last run())
+        # "memo" | "disk" | "simulated" | "resumed" (last run())
+        self.last_outcome = ""
         self._traces: dict[tuple[str, int, bool], KernelTrace] = {}
         self._results: dict[tuple, dict[str, float]] = {}
 
@@ -228,6 +262,20 @@ class ExperimentRunner:
             self.cache_dir, self.cache_name(bench, scheduler, seed, perfect)
         )
 
+    def checkpoint_path(
+        self, bench: str, scheduler: str, seed: int, perfect: bool = False
+    ) -> Optional[str]:
+        """Checkpoint file for one run (same identity as its cache entry).
+
+        The snapshot outlives a crashed/timed-out job so its retry can
+        resume; it is deleted once the run completes and its summary is
+        safely in the cache.
+        """
+        if self.cache_dir is None:
+            return None
+        name = self.cache_name(bench, scheduler, seed, perfect)
+        return os.path.join(self.cache_dir, name[: -len(".json")] + ".ckpt")
+
     def run(
         self, bench: str, scheduler: str, seed: int, perfect: bool = False
     ) -> dict[str, float]:
@@ -244,9 +292,8 @@ class ExperimentRunner:
             return result
         if self.verbose:
             print(f"  simulating {bench} / {scheduler} (seed {seed}) ...", flush=True)
-        trace = self.trace(bench, seed, perfect)
         t0 = time.time()
-        stats = simulate(self.config.with_scheduler(scheduler), trace)
+        stats, resumed = self._simulate(bench, scheduler, seed, perfect)
         result = stats.summary()
         # Extras the figures need beyond the headline summary.
         recs = stats.dram_loads()
@@ -274,10 +321,52 @@ class ExperimentRunner:
         result["sim_events"] = float(stats.events_processed)
         result["sim_wall_s"] = stats.wall_seconds
         self._results[key] = result
-        self.last_outcome = "simulated"
+        self.last_outcome = "resumed" if resumed else "simulated"
         if path:
             atomic_write_json(path, result)
+        ckpt = self.checkpoint_path(bench, scheduler, seed, perfect)
+        if ckpt and self.checkpoint_period_ns > 0 and os.path.exists(ckpt):
+            os.unlink(ckpt)  # run finished; the snapshot served its purpose
         return result
+
+    def _simulate(
+        self, bench: str, scheduler: str, seed: int, perfect: bool
+    ):
+        """One simulation, checkpoint-aware.
+
+        With ``checkpoint_period_ns`` set, the run writes periodic
+        snapshots next to its cache entry, and — if a snapshot from a
+        crashed or timed-out earlier attempt exists and matches this
+        config — resumes from it instead of starting over.  Returns
+        ``(stats, resumed)``.
+        """
+        sched_config = self.config.with_scheduler(scheduler)
+        if self.checkpoint_period_ns <= 0:
+            trace = self.trace(bench, seed, perfect)
+            return simulate(sched_config, trace), False
+        ckpt = self.checkpoint_path(bench, scheduler, seed, perfect)
+        guardrails = GuardrailConfig(
+            checkpoint_period_ns=self.checkpoint_period_ns,
+            checkpoint_path=ckpt,
+            faults=_crash_mid_run_faults(self.cache_dir, bench, scheduler, seed),
+        )
+        if os.path.exists(ckpt):
+            try:
+                system = load_checkpoint(
+                    ckpt, expected_config_hash=config_hash(sched_config)
+                )
+            except CheckpointError:
+                pass  # stale/foreign snapshot: fall through to a fresh run
+            else:
+                # Adopt the *current* guardrail settings: a crash fault
+                # from the attempt that wrote this snapshot must not
+                # re-fire on the resume.
+                system.guardrails = guardrails
+                system.injector = None
+                return system.resume(), True
+        trace = self.trace(bench, seed, perfect)
+        system = GPUSystem(sched_config, trace, guardrails=guardrails)
+        return system.run(), False
 
     def mean(self, bench: str, scheduler: str, perfect: bool = False) -> dict[str, float]:
         """Summary averaged over the runner's seeds."""

@@ -16,7 +16,13 @@ process pool and makes the sweep safe to run at scale:
   up exactly where it died with zero re-simulation;
 * **atomic cache writes** — workers publish results via temp-file +
   rename (see :func:`repro.analysis.runner.atomic_write_json`), so
-  concurrent workers and readers never see partial JSON.
+  concurrent workers and readers never see partial JSON;
+* **checkpoint resume** — when the runner has ``checkpoint_period_ns``
+  set, each job writes periodic engine snapshots
+  (:mod:`repro.guardrails.checkpoint`); a crashed or timed-out job's
+  retry resumes from its last snapshot instead of re-simulating from
+  zero, and a job that fails even its retries records the exception
+  type and the snapshot path in the manifest for the next sweep.
 
 The returned :class:`SweepReport` carries per-job wall-clock and
 events/sec and serializes to the machine-readable ``BENCH_sweep.json``
@@ -81,6 +87,8 @@ class JobResult:
     sim_wall_s: float = 0.0  # wall-clock of the producing simulation
     retries: int = 0
     error: str = ""
+    error_type: str = ""  # exception class name on failure
+    checkpoint: str = ""  # last snapshot of a failed job (resume point)
 
     @property
     def events_per_sec(self) -> float:
@@ -101,6 +109,8 @@ class JobResult:
             "events_per_sec": round(self.events_per_sec, 1),
             "retries": self.retries,
             "error": self.error,
+            "error_type": self.error_type,
+            "checkpoint": self.checkpoint,
         }
 
 
@@ -321,6 +331,8 @@ def run_sweep(
             "sim_wall_s": round(res.sim_wall_s, 4),
             "retries": res.retries,
             "error": res.error,
+            "error_type": res.error_type,
+            "checkpoint": res.checkpoint,
         }
         _save_manifest(runner.cache_dir, manifest, manifest_name)
         finished = len(results)
@@ -343,12 +355,35 @@ def run_sweep(
             job.seed,
             job.perfect,
             runner.cache_dir,
+            runner.checkpoint_period_ns,
+        )
+
+    def fail(
+        job: SweepJob, attempt: int, wall_s: float, error: str, error_type: str
+    ) -> None:
+        """Record a job whose retries are exhausted.
+
+        The manifest entry names the exception type and — when the job
+        was checkpointing — its last snapshot, so a later sweep (or a
+        human) can resume it from where it died instead of from zero.
+        """
+        ckpt = runner.checkpoint_path(job.bench, job.scheduler, job.seed, job.perfect)
+        record(
+            JobResult(
+                job,
+                "failed",
+                wall_s=wall_s,
+                retries=attempt,
+                error=error,
+                error_type=error_type,
+                checkpoint=ckpt if ckpt and os.path.exists(ckpt) else "",
+            )
         )
 
     if todo and workers <= 0:
-        _run_inline(todo, payload, retries, record, say)
+        _run_inline(todo, payload, retries, record, fail, say)
     elif todo:
-        _run_pool(todo, payload, workers, timeout_s, retries, record, say)
+        _run_pool(todo, payload, workers, timeout_s, retries, record, fail, say)
 
     report = SweepReport(
         results,
@@ -362,7 +397,7 @@ def run_sweep(
     return report
 
 
-def _run_inline(todo, payload, retries, record, say) -> None:
+def _run_inline(todo, payload, retries, record, fail, say) -> None:
     for job in todo:
         attempt = 0
         while True:
@@ -374,15 +409,7 @@ def _run_inline(todo, payload, retries, record, say) -> None:
                     attempt += 1
                     say(f"[sweep] retrying {job.job_id}: {exc}")
                     continue
-                record(
-                    JobResult(
-                        job,
-                        "failed",
-                        wall_s=time.time() - t_start,
-                        retries=attempt,
-                        error=str(exc),
-                    )
-                )
+                fail(job, attempt, time.time() - t_start, str(exc), type(exc).__name__)
                 break
             record(
                 JobResult(
@@ -398,7 +425,7 @@ def _run_inline(todo, payload, retries, record, say) -> None:
             break
 
 
-def _run_pool(todo, payload, workers, timeout_s, retries, record, say) -> None:
+def _run_pool(todo, payload, workers, timeout_s, retries, record, fail, say) -> None:
     with ProcessPoolExecutor(max_workers=workers) as pool:
         tracked: dict = {}  # future -> (job, attempt, t_submit)
 
@@ -406,7 +433,7 @@ def _run_pool(todo, payload, workers, timeout_s, retries, record, say) -> None:
             try:
                 fut = pool.submit(run_one_job, payload(job))
             except Exception as exc:  # pool already broken/shut down
-                record(JobResult(job, "failed", retries=attempt, error=str(exc)))
+                fail(job, attempt, 0.0, str(exc), type(exc).__name__)
                 return
             tracked[fut] = (job, attempt, time.time())
 
@@ -429,15 +456,7 @@ def _run_pool(todo, payload, workers, timeout_s, retries, record, say) -> None:
                         say(f"[sweep] retrying {job.job_id}: {exc}")
                         submit(job, attempt + 1)
                     else:
-                        record(
-                            JobResult(
-                                job,
-                                "failed",
-                                wall_s=now - t_submit,
-                                retries=attempt,
-                                error=str(exc),
-                            )
-                        )
+                        fail(job, attempt, now - t_submit, str(exc), type(exc).__name__)
                 else:
                     record(
                         JobResult(
@@ -466,12 +485,10 @@ def _run_pool(todo, payload, workers, timeout_s, retries, record, say) -> None:
                     say(f"[sweep] timeout, retrying {job.job_id}")
                     submit(job, attempt + 1)
                 else:
-                    record(
-                        JobResult(
-                            job,
-                            "failed",
-                            wall_s=now - t_submit,
-                            retries=attempt,
-                            error=f"timeout after {timeout_s:.0f}s",
-                        )
+                    fail(
+                        job,
+                        attempt,
+                        now - t_submit,
+                        f"timeout after {timeout_s:.0f}s",
+                        "TimeoutError",
                     )

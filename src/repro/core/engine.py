@@ -7,6 +7,12 @@ the number of *events* (DRAM commands, request hops) rather than cycles.
 
 Ties in time are broken by insertion order, which makes runs fully
 deterministic for a given seed.
+
+Callbacks are stored as ``(fn, args)`` pairs rather than closures so the
+pending-event queue is *serializable*: when every scheduled ``fn`` is a
+bound method of a model component (the convention throughout the
+simulator), the whole engine — queue included — pickles, which is what
+the checkpoint/restore machinery in :mod:`repro.guardrails` relies on.
 """
 
 from __future__ import annotations
@@ -40,25 +46,25 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._queue: list[tuple[int, int, Callable[..., None], tuple]] = []
         self._seq: int = 0
         self._running = False
         self.events_processed: int = 0
         self.profiler = None
 
-    def schedule(self, delay_ps: int, fn: Callable[[], None]) -> None:
-        """Run ``fn`` ``delay_ps`` picoseconds from now (delay >= 0)."""
+    def schedule(self, delay_ps: int, fn: Callable[..., None], *args) -> None:
+        """Run ``fn(*args)`` ``delay_ps`` picoseconds from now (delay >= 0)."""
         if delay_ps < 0:
             raise SimulationError(f"negative delay {delay_ps}")
-        self.schedule_at(self.now + delay_ps, fn)
+        self.schedule_at(self.now + delay_ps, fn, *args)
 
-    def schedule_at(self, time_ps: int, fn: Callable[[], None]) -> None:
-        """Run ``fn`` at absolute time ``time_ps`` (must not be in the past)."""
+    def schedule_at(self, time_ps: int, fn: Callable[..., None], *args) -> None:
+        """Run ``fn(*args)`` at absolute ``time_ps`` (must not be in the past)."""
         if time_ps < self.now:
             raise SimulationError(
                 f"scheduling at {time_ps} ps but now is {self.now} ps"
             )
-        heapq.heappush(self._queue, (time_ps, self._seq, fn))
+        heapq.heappush(self._queue, (time_ps, self._seq, fn, args))
         self._seq += 1
 
     def peek_time(self) -> Optional[int]:
@@ -69,14 +75,14 @@ class Engine:
         """Process one event.  Returns False when the queue is empty."""
         if not self._queue:
             return False
-        time_ps, _, fn = heapq.heappop(self._queue)
+        time_ps, _, fn, args = heapq.heappop(self._queue)
         self.now = time_ps
         self.events_processed += 1
         if self.profiler is None:
-            fn()
+            fn(*args)
         else:
             t0 = perf_counter()
-            fn()
+            fn(*args)
             self.profiler.note(fn, perf_counter() - t0)
         return True
 

@@ -17,13 +17,32 @@ fully admitted — see ``note_dispatched`` / ``note_resolved``.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 __all__ = ["MemoryRequest", "LoadTransaction", "warp_key"]
 
-_req_ids = itertools.count()
+
+class _ReqIdSource:
+    """Monotonic request-id generator whose cursor can be saved/restored.
+
+    Request ids break ties in scheduler sort keys, so a checkpointed run
+    must resume issuing ids exactly where it left off to stay bit-identical
+    with an uninterrupted run (see ``repro.guardrails.checkpoint``).
+    """
+
+    __slots__ = ("next_id",)
+
+    def __init__(self) -> None:
+        self.next_id = 0
+
+    def __call__(self) -> int:
+        value = self.next_id
+        self.next_id += 1
+        return value
+
+
+_req_ids = _ReqIdSource()
 
 
 def warp_key(sm_id: int, warp_id: int) -> tuple[int, int]:
@@ -43,7 +62,7 @@ class MemoryRequest:
     is_write: bool
     sm_id: int
     warp_id: int
-    req_id: int = field(default_factory=lambda: next(_req_ids))
+    req_id: int = field(default_factory=_req_ids)
 
     # Address decomposition (set by repro.gpu.address_map.AddressMap.route)
     channel: int = -1

@@ -1,11 +1,20 @@
 """DRAM protocol auditor.
 
-USIMM-style offline validation: a :class:`CommandLog` records every command
-a channel issues, and :func:`audit_command_log` replays the log against the
-timing parameters, reporting every constraint violation.  The simulator's
-timestamp algebra is designed to make violations impossible; the auditor
-is the independent proof (and the first tool to reach for if a scheduler
-change ever produces suspicious timing).
+USIMM-style validation in two modes sharing one rule engine:
+
+* **offline** — a :class:`CommandLog` records every command a channel
+  issues, and :func:`audit_command_log` replays the log against the
+  timing parameters, reporting every constraint violation;
+* **streaming** — a :class:`StreamingAuditor` installed *as* the
+  channel's log checks each command the instant it is recorded and (by
+  default) aborts the run with a precise diagnostic, so a scheduler bug
+  surfaces at the first illegal command instead of as wrong end-of-run
+  numbers.  This is what ``python -m repro run --audit`` wires up (see
+  :mod:`repro.guardrails`).
+
+The simulator's timestamp algebra is designed to make violations
+impossible; the auditor is the independent proof (and the first tool to
+reach for if a scheduler change ever produces suspicious timing).
 
 Checked constraints:
 
@@ -36,7 +45,14 @@ from typing import Optional
 from repro.core.config import DRAMOrgConfig, DRAMTimingConfig
 from repro.dram.commands import CommandKind
 
-__all__ = ["LoggedCommand", "CommandLog", "Violation", "audit_command_log"]
+__all__ = [
+    "LoggedCommand",
+    "CommandLog",
+    "ProtocolViolationError",
+    "StreamingAuditor",
+    "Violation",
+    "audit_command_log",
+]
 
 
 @dataclass(slots=True)
@@ -83,6 +99,16 @@ class Violation:
         return f"[{self.rule}] t={self.time_ps}ps bank={self.bank}: {self.detail}"
 
 
+class ProtocolViolationError(RuntimeError):
+    """A streaming audit found a protocol-illegal command (run aborted)."""
+
+    def __init__(self, violation: Violation, channel_id: int = -1) -> None:
+        self.violation = violation
+        self.channel_id = channel_id
+        where = f"channel {channel_id}: " if channel_id >= 0 else ""
+        super().__init__(f"DRAM protocol violation: {where}{violation}")
+
+
 @dataclass
 class _BankState:
     open_row: Optional[int] = None
@@ -92,103 +118,167 @@ class _BankState:
     last_pre: int = -(1 << 60)
 
 
+class _AuditState:
+    """Incremental protocol checker: one channel's rule state machine."""
+
+    def __init__(self, timing: DRAMTimingConfig, org: DRAMOrgConfig) -> None:
+        self.t = timing
+        self.banks = [_BankState() for _ in range(org.banks_per_channel)]
+        self.group_of = [
+            b // org.banks_per_group for b in range(org.banks_per_channel)
+        ]
+        self.last_cmd_time = -(1 << 60)
+        self.last_act_any = -(1 << 60)
+        self.act_times: list[int] = []
+        self.last_col_time = -(1 << 60)
+        self.last_col_group = -1
+        self.last_data_end = -(1 << 60)
+        self.last_wr_data_end_any = -(1 << 60)
+
+    def check(self, cmd: LoggedCommand) -> list[Violation]:
+        """Check one command against the state so far; advance the state."""
+        timing = self.t
+        v: list[Violation] = []
+        t = cmd.issue_ps
+        b = self.banks[cmd.bank]
+
+        def bad(rule: str, detail: str) -> None:
+            v.append(Violation(rule, t, cmd.bank, detail))
+
+        if self.last_cmd_time > -(1 << 59) and t - self.last_cmd_time < timing.tck_ps:
+            bad("CMD_BUS", f"{t - self.last_cmd_time}ps since previous command")
+        self.last_cmd_time = t
+
+        if cmd.kind == CommandKind.ACT:
+            if b.open_row is not None:
+                bad("ROW_STATE", "ACT with a row already open")
+            if t - b.last_act < timing.trc_ps:
+                bad("ACT_TO_ACT_SAME", f"tRC: {t - b.last_act}ps")
+            if self.last_act_any > -(1 << 59) and t - self.last_act_any < timing.trrd_ps:
+                bad("ACT_TO_ACT_DIFF", f"tRRD: {t - self.last_act_any}ps")
+            if b.last_pre > -(1 << 59) and t - b.last_pre < timing.trp_ps:
+                bad("PRE_TO_ACT", f"tRP: {t - b.last_pre}ps")
+            recent = [x for x in self.act_times if t - x < timing.tfaw_ps]
+            if len(recent) >= 4:
+                bad("FAW", f"{len(recent) + 1} ACTs in tFAW window")
+            self.act_times.append(t)
+            if len(self.act_times) > 16:
+                del self.act_times[:8]
+            self.last_act_any = t
+            b.last_act = t
+            b.open_row = cmd.row
+
+        elif cmd.kind == CommandKind.PRE:
+            if b.open_row is None:
+                bad("ROW_STATE", "PRE with no open row")
+            if t - b.last_act < timing.tras_ps:
+                bad("ACT_TO_PRE", f"tRAS: {t - b.last_act}ps")
+            if b.last_rd > -(1 << 59) and t - b.last_rd < timing.trtp_ps:
+                bad("RD_TO_PRE", f"tRTP: {t - b.last_rd}ps")
+            if (
+                b.last_wr_data_end > -(1 << 59)
+                and t - b.last_wr_data_end < timing.twr_ps
+            ):
+                bad("WR_TO_PRE", f"tWR: {t - b.last_wr_data_end}ps")
+            b.last_pre = t
+            b.open_row = None
+
+        else:  # RD / WR
+            if b.open_row is None:
+                bad("ROW_STATE", "column command with bank closed")
+            elif cmd.row >= 0 and cmd.row != b.open_row:
+                bad("ROW_STATE", f"column to row {cmd.row} but row {b.open_row} open")
+            if t - b.last_act < timing.trcd_ps:
+                bad("ACT_TO_COL", f"tRCD: {t - b.last_act}ps")
+            if self.last_col_time > -(1 << 59):
+                ccd = (
+                    timing.tccdl_ps
+                    if self.group_of[cmd.bank] == self.last_col_group
+                    else timing.tccds_ps
+                )
+                if t - self.last_col_time < ccd:
+                    bad("CCD", f"{t - self.last_col_time}ps since last column")
+            if cmd.kind == CommandKind.RD:
+                if (
+                    self.last_wr_data_end_any > -(1 << 59)
+                    and t - self.last_wr_data_end_any < timing.twtr_ps
+                ):
+                    bad("WTR", f"{t - self.last_wr_data_end_any}ps after write data")
+                b.last_rd = t
+            if cmd.data_start_ps >= 0:
+                if cmd.data_start_ps < self.last_data_end:
+                    bad(
+                        "DATA_BUS",
+                        f"burst starts {self.last_data_end - cmd.data_start_ps}ps early",
+                    )
+                self.last_data_end = max(self.last_data_end, cmd.data_end_ps)
+            if cmd.kind == CommandKind.WR and cmd.data_end_ps >= 0:
+                b.last_wr_data_end = cmd.data_end_ps
+                self.last_wr_data_end_any = cmd.data_end_ps
+            self.last_col_time = t
+            self.last_col_group = self.group_of[cmd.bank]
+
+        return v
+
+
+class StreamingAuditor:
+    """Online protocol audit: a drop-in for ``Channel.log``.
+
+    Install one per channel (``mc.channel.log = StreamingAuditor(...)``)
+    and every command is validated the instant it issues.  By default a
+    violation raises :class:`ProtocolViolationError` carrying the exact
+    rule, instant and bank; set ``collect=True`` to accumulate violations
+    in :attr:`violations` instead (useful for tests and tooling).
+
+    The auditor keeps O(1) state (no command history), so it is safe to
+    leave on for arbitrarily long runs, and it is picklable, so it rides
+    along in checkpoint snapshots.
+    """
+
+    def __init__(
+        self,
+        timing: DRAMTimingConfig,
+        org: DRAMOrgConfig,
+        channel_id: int = -1,
+        collect: bool = False,
+    ) -> None:
+        self.channel_id = channel_id
+        self.collect = collect
+        self.commands_checked = 0
+        self.violations: list[Violation] = []
+        self._state = _AuditState(timing, org)
+
+    def record(
+        self,
+        issue_ps: int,
+        kind: CommandKind,
+        bank: int,
+        row: int = -1,
+        data_start_ps: int = -1,
+        data_end_ps: int = -1,
+    ) -> None:
+        cmd = LoggedCommand(issue_ps, kind, bank, row, data_start_ps, data_end_ps)
+        found = self._state.check(cmd)
+        self.commands_checked += 1
+        if not found:
+            return
+        if self.collect:
+            self.violations.extend(found)
+        else:
+            raise ProtocolViolationError(found[0], self.channel_id)
+
+    def __len__(self) -> int:
+        return self.commands_checked
+
+
 def audit_command_log(
     log: CommandLog,
     timing: DRAMTimingConfig,
     org: DRAMOrgConfig,
 ) -> list[Violation]:
     """Replay a command log; return every timing/protocol violation."""
+    state = _AuditState(timing, org)
     v: list[Violation] = []
-    banks = [_BankState() for _ in range(org.banks_per_channel)]
-    group_of = [b // org.banks_per_group for b in range(org.banks_per_channel)]
-    last_cmd_time = -(1 << 60)
-    last_act_any = -(1 << 60)
-    act_times: list[int] = []
-    last_col_time = -(1 << 60)
-    last_col_group = -1
-    last_data_end = -(1 << 60)
-    last_wr_data_end_any = -(1 << 60)
-
-    def bad(rule: str, t: int, bank: int, detail: str) -> None:
-        v.append(Violation(rule, t, bank, detail))
-
     for cmd in log.commands:
-        t = cmd.issue_ps
-        b = banks[cmd.bank]
-
-        if t < last_cmd_time + timing.tck_ps and t != last_cmd_time == -(1 << 60):
-            pass
-        if last_cmd_time > -(1 << 59) and t - last_cmd_time < timing.tck_ps:
-            bad("CMD_BUS", t, cmd.bank, f"{t - last_cmd_time}ps since previous command")
-        last_cmd_time = t
-
-        if cmd.kind == CommandKind.ACT:
-            if b.open_row is not None:
-                bad("ROW_STATE", t, cmd.bank, "ACT with a row already open")
-            if t - b.last_act < timing.trc_ps:
-                bad("ACT_TO_ACT_SAME", t, cmd.bank, f"tRC: {t - b.last_act}ps")
-            if last_act_any > -(1 << 59) and t - last_act_any < timing.trrd_ps:
-                bad("ACT_TO_ACT_DIFF", t, cmd.bank, f"tRRD: {t - last_act_any}ps")
-            if b.last_pre > -(1 << 59) and t - b.last_pre < timing.trp_ps:
-                bad("PRE_TO_ACT", t, cmd.bank, f"tRP: {t - b.last_pre}ps")
-            recent = [x for x in act_times if t - x < timing.tfaw_ps]
-            if len(recent) >= 4:
-                bad("FAW", t, cmd.bank, f"{len(recent) + 1} ACTs in tFAW window")
-            act_times.append(t)
-            if len(act_times) > 16:
-                del act_times[:8]
-            last_act_any = t
-            b.last_act = t
-            b.open_row = cmd.row
-
-        elif cmd.kind == CommandKind.PRE:
-            if b.open_row is None:
-                bad("ROW_STATE", t, cmd.bank, "PRE with no open row")
-            if t - b.last_act < timing.tras_ps:
-                bad("ACT_TO_PRE", t, cmd.bank, f"tRAS: {t - b.last_act}ps")
-            if b.last_rd > -(1 << 59) and t - b.last_rd < timing.trtp_ps:
-                bad("RD_TO_PRE", t, cmd.bank, f"tRTP: {t - b.last_rd}ps")
-            if (
-                b.last_wr_data_end > -(1 << 59)
-                and t - b.last_wr_data_end < timing.twr_ps
-            ):
-                bad("WR_TO_PRE", t, cmd.bank, f"tWR: {t - b.last_wr_data_end}ps")
-            b.last_pre = t
-            b.open_row = None
-
-        else:  # RD / WR
-            if b.open_row is None:
-                bad("ROW_STATE", t, cmd.bank, "column command with bank closed")
-            elif cmd.row >= 0 and cmd.row != b.open_row:
-                bad("ROW_STATE", t, cmd.bank,
-                    f"column to row {cmd.row} but row {b.open_row} open")
-            if t - b.last_act < timing.trcd_ps:
-                bad("ACT_TO_COL", t, cmd.bank, f"tRCD: {t - b.last_act}ps")
-            if last_col_time > -(1 << 59):
-                ccd = (
-                    timing.tccdl_ps
-                    if group_of[cmd.bank] == last_col_group
-                    else timing.tccds_ps
-                )
-                if t - last_col_time < ccd:
-                    bad("CCD", t, cmd.bank, f"{t - last_col_time}ps since last column")
-            if cmd.kind == CommandKind.RD:
-                if (
-                    last_wr_data_end_any > -(1 << 59)
-                    and t - last_wr_data_end_any < timing.twtr_ps
-                ):
-                    bad("WTR", t, cmd.bank,
-                        f"{t - last_wr_data_end_any}ps after write data")
-                b.last_rd = t
-            if cmd.data_start_ps >= 0:
-                if cmd.data_start_ps < last_data_end:
-                    bad("DATA_BUS", t, cmd.bank,
-                        f"burst starts {last_data_end - cmd.data_start_ps}ps early")
-                last_data_end = max(last_data_end, cmd.data_end_ps)
-            if cmd.kind == CommandKind.WR and cmd.data_end_ps >= 0:
-                b.last_wr_data_end = cmd.data_end_ps
-                last_wr_data_end_any = cmd.data_end_ps
-            last_col_time = t
-            last_col_group = group_of[cmd.bank]
-
+        v.extend(state.check(cmd))
     return v

@@ -41,21 +41,25 @@ class Crossbar:
         self.messages_forward = 0
         self.messages_return = 0
 
-    def _send(self, free: list[int], port: int, fn: Callable[[], None], payload: bool) -> int:
+    def _send(
+        self, free: list[int], port: int, fn: Callable[..., None], args: tuple, payload: bool
+    ) -> int:
         now = self.engine.now
         start = max(now, free[port])
         done = start + (self.transfer_ps if payload else 0)
         free[port] = done
         deliver = done + self.latency_ps
-        self.engine.schedule_at(deliver, fn)
+        self.engine.schedule_at(deliver, fn, *args)
         return deliver
 
-    def to_partition(self, part: int, fn: Callable[[], None], payload: bool = True) -> int:
+    def to_partition(
+        self, part: int, fn: Callable[..., None], *args, payload: bool = True
+    ) -> int:
         """Send a request (or a zero-payload control message) to a partition."""
         self.messages_forward += 1
-        return self._send(self._to_partition_free, part, fn, payload)
+        return self._send(self._to_partition_free, part, fn, args, payload)
 
-    def to_sm(self, sm_id: int, fn: Callable[[], None], payload: bool = True) -> int:
+    def to_sm(self, sm_id: int, fn: Callable[..., None], *args, payload: bool = True) -> int:
         """Send a data reply back to an SM."""
         self.messages_return += 1
-        return self._send(self._to_sm_free, sm_id, fn, payload)
+        return self._send(self._to_sm_free, sm_id, fn, args, payload)

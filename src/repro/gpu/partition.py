@@ -49,7 +49,7 @@ class MemoryPartition:
     # ingress (from the crossbar)
     # ------------------------------------------------------------------
     def receive(self, req: MemoryRequest) -> None:
-        self.engine.schedule(self.l2_lat_ps, lambda: self._lookup(req))
+        self.engine.schedule(self.l2_lat_ps, self._lookup, req)
 
     def _lookup(self, req: MemoryRequest) -> None:
         assert self.mc is not None, "partition not wired to a controller"

@@ -15,6 +15,7 @@ same-line misses across warps) and travel to the owning memory partition.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable
 
 from repro.core.config import SimConfig
@@ -96,7 +97,7 @@ class SMCore:
         start = max(self.engine.now, self.issue_free)
         end = start + cycles * self.core_cycle_ps
         self.issue_free = end
-        self.engine.schedule_at(end, lambda: self._segment_done(w, seg))
+        self.engine.schedule_at(end, self._segment_done, w, seg)
 
     def _segment_done(self, w: WarpState, seg: Segment) -> None:
         self.sim_stats.warp_instructions += seg.instructions
@@ -140,12 +141,14 @@ class SMCore:
                     self.tlb.fill(line)
         self.sim_stats.loads_issued += 1
         self.sim_stats.requests_issued += len(lines) + len(walk_lines)
+        # partial over a bound method (not a closure): the transaction may
+        # sit in a checkpoint snapshot, so everything it holds must pickle.
         txn = LoadTransaction(
             self.sm_id,
             w.warp_id,
             n_requests=len(lines) + len(walk_lines),
             t_issue=now,
-            on_complete=lambda t, warp=w: self._load_done(warp, t),
+            on_complete=partial(self._load_done, w),
             on_group_complete=self.group_complete_cb,
         )
         w.status = WarpStatus.BLOCKED
@@ -160,9 +163,7 @@ class SMCore:
         for line in lines:
             if self.l1 is not None and self.l1.lookup(line):
                 self.sim_stats.l1_hits += 1
-                self.engine.schedule(
-                    self.l1_hit_ps, lambda t=txn: t.note_return(self.engine.now)
-                )
+                self.engine.schedule(self.l1_hit_ps, self._l1_hit_return, txn)
                 continue
             req = MemoryRequest(
                 addr=line, is_write=False, sm_id=self.sm_id, warp_id=w.warp_id
@@ -187,6 +188,9 @@ class SMCore:
             )
             req.t_issue = self.engine.now
             self.send_request(req)
+
+    def _l1_hit_return(self, txn: LoadTransaction) -> None:
+        txn.note_return(self.engine.now)
 
     def _load_done(self, w: WarpState, txn: LoadTransaction) -> None:
         self.sim_stats.record_load(

@@ -1,0 +1,96 @@
+"""Configuration for the runtime guardrails.
+
+A :class:`GuardrailConfig` travels alongside (not inside) the frozen
+:class:`~repro.core.config.SimConfig`: guardrails never change what is
+simulated, only what is *checked* while simulating, so they must not
+participate in result cache keys (``config_hash``) or experiment
+identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.guardrails.faults import FaultSpec
+
+__all__ = ["GuardrailConfig"]
+
+
+@dataclass(frozen=True)
+class GuardrailConfig:
+    """What to watch, how often, and where checkpoints go.
+
+    All periods and bounds are nanoseconds of *simulated* time.  The
+    defaults are chosen so that a healthy simulation at any scale never
+    trips a watchdog: the stale-request bound must exceed the worst
+    legitimate queueing delay (read-queue overflow drains at roughly one
+    request per 25 ns, so thousands of backlogged requests mean hundreds
+    of microseconds), and the stuck-controller bound must exceed the
+    longest legitimate command-issue gap (a refresh cycle, ~hundreds of
+    ns).
+    """
+
+    # -- invariant monitor ------------------------------------------------
+    invariants: bool = False
+    check_period_ns: float = 10_000.0  # watchdog/occupancy sweep cadence
+    stale_request_ns: float = 500_000.0  # in-flight read older than this
+    stuck_mc_ns: float = 100_000.0  # pending work but no DRAM command
+
+    # -- streaming protocol audit ----------------------------------------
+    audit: bool = False
+
+    # -- checkpointing ----------------------------------------------------
+    checkpoint_period_ns: float = 0.0  # 0 = never checkpoint
+    checkpoint_path: Optional[str] = None
+
+    # -- fault injection ---------------------------------------------------
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.check_period_ns <= 0:
+            raise ValueError(f"check_period_ns must be > 0, got {self.check_period_ns}")
+        if self.stale_request_ns <= 0:
+            raise ValueError(
+                f"stale_request_ns must be > 0, got {self.stale_request_ns}"
+            )
+        if self.stuck_mc_ns <= 0:
+            raise ValueError(f"stuck_mc_ns must be > 0, got {self.stuck_mc_ns}")
+        if self.checkpoint_period_ns < 0:
+            raise ValueError(
+                f"checkpoint_period_ns must be >= 0, got {self.checkpoint_period_ns}"
+            )
+        if self.checkpoint_period_ns > 0 and not self.checkpoint_path:
+            raise ValueError("checkpoint_period_ns set but no checkpoint_path")
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    # -- derived ----------------------------------------------------------
+    @property
+    def check_period_ps(self) -> int:
+        return int(self.check_period_ns * 1000)
+
+    @property
+    def checkpoint_period_ps(self) -> int:
+        return int(self.checkpoint_period_ns * 1000)
+
+    @property
+    def active(self) -> bool:
+        """Any guardrail enabled at all?"""
+        return (
+            self.invariants
+            or self.audit
+            or self.checkpoint_period_ns > 0
+            or bool(self.faults)
+        )
+
+    @property
+    def needs_driver(self) -> bool:
+        """Does the run need the segmented drive loop?
+
+        The streaming audit alone hooks the channel command log and
+        raises inline, so a plain ``engine.run()`` suffices for it;
+        periodic checks, checkpoints and timed faults need the system
+        to regain control between event-queue segments.
+        """
+        return self.invariants or self.checkpoint_period_ns > 0 or bool(self.faults)

@@ -97,7 +97,7 @@ class ZeroDivergenceController(FRFCFSController):
         self.stats.reads += 1
         self.stats.row_hits += 1
         self.stats.read_latency.add((data_end - req.t_mc_arrival) / 1000.0)
-        self.engine.schedule_at(data_end, lambda r=req: self.deliver_read(r))
+        self.engine.schedule_at(data_end, self.deliver_read, req)
 
     def _on_column_issued(self, entry, now: int) -> None:
         # The leader has been serviced: the group key becomes reusable for

@@ -143,7 +143,7 @@ class MemoryController:
         if fw is not None:
             req.serviced_by = "wq"
             req.t_data = self.engine.now + self.t.tcas_ps
-            self.engine.schedule_at(req.t_data, lambda r=req: self.deliver_read(r))
+            self.engine.schedule_at(req.t_data, self.deliver_read, req)
             if req.transaction is not None:
                 req.transaction.note_resolved(self.channel_id, to_dram=False)
             return
@@ -363,7 +363,7 @@ class MemoryController:
                 self.stats.service_time.add((data_end - req.t_scheduled) / 1000.0)
                 if self._p_read_done:
                     self._p_read_done.emit(self.channel_id, latency_ns, req.was_row_hit)
-                self.engine.schedule_at(data_end, lambda r=req: self.deliver_read(r))
+                self.engine.schedule_at(data_end, self.deliver_read, req)
 
     def _on_column_issued(self, entry: QueuedRequest, now: int) -> None:
         """Hook for policies that track per-request completion (WG family)."""

@@ -42,7 +42,4 @@ class CoordinationNetwork:
         for mc in self.controllers:
             if mc.channel_id == src_channel:
                 continue
-            self.engine.schedule(
-                self.delay_ps,
-                lambda m=mc, k=key, s=score: m.receive_coordination(k, s),
-            )
+            self.engine.schedule(self.delay_ps, mc.receive_coordination, key, score)

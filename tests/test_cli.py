@@ -84,3 +84,55 @@ def test_trace_subcommand_defaults_output(tmp_path, monkeypatch):
     trace = json.loads((tmp_path / "trace.json").read_text())
     assert trace["displayTimeUnit"] == "ns"
     assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# runtime guardrail flags (docs/robustness.md)
+# ---------------------------------------------------------------------------
+def test_run_with_guardrails_enabled(capsys):
+    assert main(
+        ["run", "sad", "--scale", "tiny", "--invariants", "--audit", "--json"]
+    ) == 0
+    assert json.loads(capsys.readouterr().out)["ipc"] > 0
+
+
+def test_run_checkpoint_then_restore_is_identical(tmp_path, capsys):
+    ckpt = tmp_path / "snap.ckpt"
+    assert main([
+        "run", "sad", "--scale", "tiny", "--json",
+        "--checkpoint-period", "1500", "--checkpoint-out", str(ckpt),
+    ]) == 0
+    full = json.loads(capsys.readouterr().out)
+    assert ckpt.exists()  # a mid-run snapshot was left behind
+    assert main(["run", "--restore-from", str(ckpt), "--json"]) == 0
+    captured = capsys.readouterr()
+    assert json.loads(captured.out) == full  # resumed == uninterrupted
+    assert "restoring" in captured.err
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["run", "sad", "--checkpoint-period", "100"],  # no --checkpoint-out
+        ["run", "sad", "--checkpoint-out", "x.ckpt"],  # no period
+        ["run", "sad", "--checkpoint-period", "100", "--checkpoint-out",
+         "x.ckpt", "--metrics-out", "m.json"],  # telemetry can't checkpoint
+        ["run", "sad", "--restore-from", "x.ckpt"],  # benchmark + restore
+        ["run", "--restore-from", "x.ckpt", "--seed", "3"],  # baked-in knob
+        ["run", "--restore-from", "x.ckpt", "--scheduler", "wg"],
+        ["run", "--restore-from", "x.ckpt", "--audit"],  # mid-run guardrail
+        ["run", "--restore-from", "x.ckpt", "--profile"],  # mid-run telemetry
+        ["run"],  # no benchmark, no snapshot
+        ["run", "--restore-from", "does-not-exist.ckpt"],  # missing file
+    ],
+    ids=lambda argv: " ".join(argv[1:]),
+)
+def test_run_rejects_nonsensical_flag_combinations(argv, capsys):
+    assert main(argv) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_checkpoint_period_must_be_positive():
+    with pytest.raises(SystemExit):
+        main(["run", "sad", "--checkpoint-period", "0",
+              "--checkpoint-out", "x.ckpt"])

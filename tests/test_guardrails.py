@@ -1,0 +1,281 @@
+"""Tests for the runtime guardrails (repro.guardrails): non-perturbation,
+invariant detection of every injected fault class, and bit-identical
+checkpoint/restore."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.analysis.runner import config_hash
+from repro.core.config import SimConfig
+from repro.dram.commands import CommandKind
+from repro.dram.validate import (
+    CommandLog,
+    ProtocolViolationError,
+    StreamingAuditor,
+    audit_command_log,
+)
+from repro.gpu.system import GPUSystem, simulate
+from repro.guardrails import (
+    CheckpointError,
+    FaultInjectionError,
+    FaultSpec,
+    GuardrailConfig,
+    InvariantViolation,
+    load_checkpoint,
+    peek_checkpoint,
+    save_checkpoint,
+)
+from repro.telemetry import TelemetryHub
+from repro.workloads.profiles import IRREGULAR_PROFILES
+from repro.workloads.synthetic import synthetic_trace
+
+# A small irregular workload: ~4000 ns simulated, every queue exercised.
+PROFILE = dataclasses.replace(IRREGULAR_PROFILES["bfs"], warps=48, loads_per_warp=6)
+
+
+def cfg_for(scheduler: str) -> SimConfig:
+    return SimConfig().small().with_scheduler(scheduler)
+
+
+def trace_for(cfg: SimConfig):
+    return synthetic_trace(PROFILE, cfg, seed=1)
+
+
+_BASELINE: dict[str, dict] = {}
+
+
+def baseline(scheduler: str) -> dict:
+    """Plain-run summary, computed once per scheduler per session."""
+    if scheduler not in _BASELINE:
+        cfg = cfg_for(scheduler)
+        _BASELINE[scheduler] = simulate(cfg, trace_for(cfg)).summary()
+    return _BASELINE[scheduler]
+
+
+# ---------------------------------------------------------------------------
+# config validation
+# ---------------------------------------------------------------------------
+def test_guardrail_config_validation():
+    with pytest.raises(ValueError):
+        GuardrailConfig(check_period_ns=0)
+    with pytest.raises(ValueError):
+        GuardrailConfig(stale_request_ns=-1)
+    with pytest.raises(ValueError):
+        GuardrailConfig(checkpoint_period_ns=100)  # no path
+    g = GuardrailConfig(faults=[FaultSpec("crash", at_ns=1)])
+    assert isinstance(g.faults, tuple)  # list coerced
+    assert g.active and g.needs_driver
+
+
+def test_guardrail_config_layer_flags():
+    assert not GuardrailConfig().active
+    audit_only = GuardrailConfig(audit=True)
+    assert audit_only.active and not audit_only.needs_driver
+    inv = GuardrailConfig(invariants=True)
+    assert inv.active and inv.needs_driver
+
+
+def test_fault_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec("eat_flash", at_ns=1)
+    with pytest.raises(ValueError):
+        FaultSpec("crash", at_ns=-1)
+    with pytest.raises(ValueError):
+        FaultSpec("delay_response", at_ns=1)  # needs delay_ns > 0
+    spec = FaultSpec("delay_response", at_ns=1.5, delay_ns=2.5)
+    assert spec.at_ps == 1500 and spec.delay_ps == 2500
+
+
+# ---------------------------------------------------------------------------
+# non-perturbation: guardrails on == guardrails off, bit for bit
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("scheduler", ["wg", "frfcfs"])
+def test_guardrails_do_not_perturb_the_simulation(scheduler):
+    cfg = cfg_for(scheduler)
+    guarded = simulate(
+        cfg,
+        trace_for(cfg),
+        guardrails=GuardrailConfig(invariants=True, audit=True, check_period_ns=200),
+    )
+    assert guarded.summary() == baseline(scheduler)
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / restore
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("scheduler", ["wg", "frfcfs"])
+def test_checkpoint_restore_is_bit_identical(tmp_path, scheduler):
+    """A run finished from a mid-run snapshot reports the same statistics
+    as an uninterrupted one — monitor ledger included."""
+    ckpt = str(tmp_path / "snap.ckpt")
+    cfg = cfg_for(scheduler)
+    guardrails = GuardrailConfig(
+        invariants=True,
+        check_period_ns=200,
+        checkpoint_period_ns=1500,
+        checkpoint_path=ckpt,
+    )
+    full = simulate(cfg, trace_for(cfg), guardrails=guardrails)
+    assert full.summary() == baseline(scheduler)
+
+    meta = peek_checkpoint(ckpt)  # the last periodic snapshot, mid-run
+    assert meta["scheduler"] == scheduler
+    assert meta["config_hash"] == config_hash(cfg)
+    assert 0 < meta["warps_done"] < PROFILE.warps
+
+    system = load_checkpoint(ckpt, expected_config_hash=config_hash(cfg))
+    resumed = system.resume()
+    assert resumed.summary() == baseline(scheduler)
+
+
+def test_checkpoint_rejects_wrong_config_hash(tmp_path):
+    ckpt = str(tmp_path / "snap.ckpt")
+    cfg = cfg_for("wg")
+    save_checkpoint(GPUSystem(cfg, trace_for(cfg)), ckpt)
+    with pytest.raises(CheckpointError, match="config"):
+        load_checkpoint(ckpt, expected_config_hash="not-the-hash")
+
+
+def test_checkpoint_rejects_version_and_format_mismatch(tmp_path):
+    ckpt = tmp_path / "snap.ckpt"
+    cfg = cfg_for("wg")
+    save_checkpoint(GPUSystem(cfg, trace_for(cfg)), str(ckpt))
+    envelope = pickle.loads(ckpt.read_bytes())
+    envelope["version"] = 999
+    ckpt.write_bytes(pickle.dumps(envelope))
+    with pytest.raises(CheckpointError, match="version"):
+        load_checkpoint(str(ckpt))
+
+    not_ours = tmp_path / "other.ckpt"
+    not_ours.write_bytes(pickle.dumps({"hello": "world"}))
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(not_ours))
+
+    garbage = tmp_path / "garbage.ckpt"
+    garbage.write_text("this is not a pickle")
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(garbage))
+
+    with pytest.raises(CheckpointError, match="no checkpoint"):
+        load_checkpoint(str(tmp_path / "missing.ckpt"))
+
+
+def test_checkpoint_rejects_attached_telemetry(tmp_path):
+    cfg = cfg_for("wg")
+    system = GPUSystem(
+        cfg, trace_for(cfg), telemetry=TelemetryHub(sample_period_ns=100.0)
+    )
+    with pytest.raises(CheckpointError, match="telemetry"):
+        save_checkpoint(system, str(tmp_path / "snap.ckpt"))
+
+
+# ---------------------------------------------------------------------------
+# fault injection: every fault class is caught by its guardrail
+# ---------------------------------------------------------------------------
+def run_with_faults(*faults, audit=False, invariants=True):
+    cfg = cfg_for("wg")
+    guardrails = GuardrailConfig(
+        invariants=invariants,
+        audit=audit,
+        # Tight watchdogs, scaled to the ~4000 ns run: the stale bound
+        # still clears the longest natural request age (~1700 ns).
+        check_period_ns=100,
+        stale_request_ns=2500,
+        stuck_mc_ns=400,
+        faults=faults,
+    )
+    return simulate(cfg, trace_for(cfg), guardrails=guardrails)
+
+
+def test_tight_watchdogs_pass_a_clean_run():
+    """The fault tests' watchdog bounds do not false-positive."""
+    assert run_with_faults().summary() == baseline("wg")
+
+
+@pytest.mark.parametrize(
+    "spec, law",
+    [
+        (FaultSpec("drop_response", at_ns=400), "stale-request"),
+        (FaultSpec("delay_response", at_ns=400, delay_ns=4000), "stale-request"),
+        (FaultSpec("duplicate_response", at_ns=400), "conservation"),
+        (FaultSpec("stuck_mc", at_ns=800, channel=0), "stuck-mc"),
+        (FaultSpec("corrupt_queue", at_ns=800, channel=0), "occupancy"),
+    ],
+    ids=lambda x: getattr(x, "kind", x),
+)
+def test_fault_is_caught_by_invariant(spec, law):
+    with pytest.raises(InvariantViolation) as exc_info:
+        run_with_faults(spec)
+    assert exc_info.value.law == law
+    assert exc_info.value.time_ps >= spec.at_ps
+
+
+def test_illegal_command_caught_by_streaming_audit():
+    with pytest.raises(ProtocolViolationError) as exc_info:
+        run_with_faults(
+            FaultSpec("illegal_command", at_ns=800, channel=0),
+            audit=True,
+            invariants=False,
+        )
+    assert exc_info.value.channel_id == 0
+
+
+def test_crash_fault_raises():
+    with pytest.raises(FaultInjectionError):
+        run_with_faults(FaultSpec("crash", at_ns=800))
+
+
+def test_dropped_response_without_watchdog_fails_final_conservation():
+    """Even with watchdogs effectively off, the end-of-run ledger check
+    still refuses to bless a run that lost a response."""
+    cfg = cfg_for("wg")
+    guardrails = GuardrailConfig(
+        invariants=True,
+        check_period_ns=100,
+        stale_request_ns=10**6,
+        stuck_mc_ns=10**6,
+        faults=(FaultSpec("drop_response", at_ns=400),),
+    )
+    with pytest.raises((InvariantViolation, RuntimeError)) as exc_info:
+        simulate(cfg, trace_for(cfg), guardrails=guardrails)
+    if isinstance(exc_info.value, InvariantViolation):
+        assert exc_info.value.law == "conservation"
+
+
+# ---------------------------------------------------------------------------
+# streaming auditor == offline auditor
+# ---------------------------------------------------------------------------
+def test_streaming_auditor_matches_offline_audit():
+    T = SimConfig().dram_timing
+    ORG = SimConfig().dram_org
+    # A sequence with two deliberate violations (tRCD, tRRD) amid legal
+    # commands; the collecting streaming auditor must report exactly what
+    # the offline replay reports.
+    rd = T.tck_ps
+    cmds = [
+        (0, CommandKind.ACT, 0, 5),
+        (rd, CommandKind.RD, 0, 5, rd + T.tcas_ps, rd + T.tcas_ps + T.tburst_ps),
+        (rd + T.tck_ps, CommandKind.ACT, 1, 7),
+    ]
+    log = CommandLog()
+    streaming = StreamingAuditor(T, ORG, channel_id=3, collect=True)
+    for c in cmds:
+        log.record(*c)
+        streaming.record(*c)
+    offline = audit_command_log(log, T, ORG)
+    assert streaming.violations == offline
+    assert {v.rule for v in offline} >= {"ACT_TO_COL", "ACT_TO_ACT_DIFF"}
+    assert streaming.commands_checked == len(cmds)
+
+
+def test_streaming_auditor_raises_on_first_violation():
+    T = SimConfig().dram_timing
+    ORG = SimConfig().dram_org
+    auditor = StreamingAuditor(T, ORG, channel_id=1)
+    auditor.record(0, CommandKind.ACT, 0, 5)
+    with pytest.raises(ProtocolViolationError) as exc_info:
+        auditor.record(T.tck_ps, CommandKind.RD, 0, 5)
+    assert exc_info.value.violation.rule == "ACT_TO_COL"
+    assert exc_info.value.channel_id == 1

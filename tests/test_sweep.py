@@ -142,3 +142,79 @@ def test_progress_reports_counts_and_eta(tmp_path):
     assert any("2/2" in ln for ln in lines)
     assert "eta" in lines[0]
     assert "jobs done" in lines[-1]  # final summary line
+
+
+# ---------------------------------------------------------------------------
+# checkpoint-backed resume (repro.guardrails integration)
+# ---------------------------------------------------------------------------
+def ckpt_runner(path) -> ExperimentRunner:
+    return ExperimentRunner(
+        scale=Scale.TINY, seeds=(1,), cache_dir=str(path),
+        checkpoint_period_ns=500.0,
+    )
+
+
+def cache_entries(path) -> dict[str, dict]:
+    """Cache JSONs keyed by name, minus wall-clock (non-deterministic)."""
+    return {
+        p.name: {
+            k: v
+            for k, v in json.loads(p.read_text()).items()
+            if k != "sim_wall_s"
+        }
+        for p in path.iterdir()
+        if p.suffix == ".json" and p.name != MANIFEST_NAME
+    }
+
+
+def test_mid_run_crash_retry_resumes_from_checkpoint(tmp_path, monkeypatch):
+    """A job that dies mid-simulation is retried from its last periodic
+    snapshot, and the resumed result is identical to an uninterrupted run."""
+    work = tmp_path / "work"
+    ref = tmp_path / "ref"
+    work.mkdir(), ref.mkdir()
+    monkeypatch.setenv("REPRO_SWEEP_CRASH_AT", "sad:wg:1:1500")
+    report = run_sweep(ckpt_runner(work), ["sad"], ["wg"], workers=0, retries=1)
+    assert report.n_failed == 0 and report.n_done == 1
+    (res,) = report.results
+    assert res.retries == 1  # first attempt crashed at 1500 ns
+    # The checkpoint is consumed (deleted) once the job lands.
+    r = ckpt_runner(work)
+    assert not os.path.exists(r.checkpoint_path("sad", "wg", 1, False))
+    # An uninterrupted reference sweep produces the exact same cache entry.
+    monkeypatch.delenv("REPRO_SWEEP_CRASH_AT")
+    run_sweep(ckpt_runner(ref), ["sad"], ["wg"], workers=0)
+    assert cache_entries(work) == cache_entries(ref)
+
+
+def test_exhausted_retries_record_error_type_and_checkpoint(tmp_path, monkeypatch):
+    """When retries run out, the manifest records what broke and where the
+    last snapshot lives — and a later resume finishes from that snapshot."""
+    monkeypatch.setenv("REPRO_SWEEP_CRASH_AT", "sad:wg:1:1500")
+    report = run_sweep(ckpt_runner(tmp_path), ["sad"], ["wg"], workers=0, retries=0)
+    assert report.n_failed == 1
+    entry = next(iter(load_manifest(str(tmp_path)).values()))
+    assert entry["status"] == "failed"
+    assert entry["error_type"] == "FaultInjectionError"
+    assert entry["checkpoint"] and os.path.exists(entry["checkpoint"])
+    # Resume: the snapshot finishes the job without restarting from zero.
+    monkeypatch.delenv("REPRO_SWEEP_CRASH_AT")
+    second = run_sweep(
+        ckpt_runner(tmp_path), ["sad"], ["wg"], workers=0, resume=True
+    )
+    assert second.n_failed == 0 and second.n_done == 1
+    entry = next(iter(load_manifest(str(tmp_path)).values()))
+    assert entry["status"] == "done" and entry["error_type"] == ""
+
+
+def test_pre_run_crash_records_error_type_without_checkpoint(tmp_path, monkeypatch):
+    """A crash before the simulation starts has no snapshot to point at."""
+    monkeypatch.setenv("REPRO_SWEEP_CRASH", "sad:wg:1")
+    report = run_sweep(
+        tiny_runner(tmp_path), ["sad"], ["wg"], workers=0, retries=0
+    )
+    assert report.n_failed == 1
+    entry = next(iter(load_manifest(str(tmp_path)).values()))
+    assert entry["status"] == "failed"
+    assert entry["error_type"] == "RuntimeError"
+    assert entry["checkpoint"] == ""

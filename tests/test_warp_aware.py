@@ -335,3 +335,62 @@ def test_wgw_behaves_like_wgbw_without_write_pressure(harness):
         h.run()
     assert [r.t_data for r in ha.delivered] == [r.t_data for r in hb.delivered]
     assert ha.stats.wgw_promotions == 0
+
+
+# ---------------------------------------------------------------------------
+# Adversarial coordination orderings: late, duplicated and useless
+# messages must be no-ops, never corruption (see docs/robustness.md).
+# ---------------------------------------------------------------------------
+def incomplete_group(mc, channel=0, warp_id=5):
+    """Park one request of a still-dispatching warp in the sorter."""
+    from repro.core.request import LoadTransaction
+
+    txn = LoadTransaction(0, warp_id, n_requests=4, t_issue=0)
+    r = make_request(bank=0, row=1, warp_id=warp_id, channel=channel)
+    r.transaction = txn
+    txn.note_dispatched(channel)
+    mc.receive_read(r)
+    return (0, warp_id)
+
+
+def test_coordination_message_for_completed_warp_is_noop():
+    """A broadcast that arrives after the warp drained locally is dropped."""
+    eng, net, mcs, stats, delivered = build_pair()
+    req = make_request(bank=0, row=1, warp_id=1, channel=1)
+    mcs[1].receive_read(req)
+    eng.run(max_events=100_000)
+    assert req.t_data > 0  # the warp's only request completed
+    applied_before = stats[1].coordination_msgs_applied
+    mcs[1].receive_coordination((0, 1), remote_score=0)
+    assert stats[1].coordination_msgs_applied == applied_before
+    assert mcs[1].sorter.get((0, 1)) is None  # nothing resurrected
+    eng.run(max_events=100_000)  # and the controller stays healthy
+
+
+def test_duplicate_broadcasts_apply_once():
+    eng, net, mcs, stats, _ = build_pair()
+    key = incomplete_group(mcs[1], channel=1)
+    mcs[1].receive_coordination(key, remote_score=7)
+    mcs[1].receive_coordination(key, remote_score=7)  # exact duplicate
+    mcs[1].receive_coordination(key, remote_score=9)  # stale (worse) score
+    assert stats[1].coordination_msgs_applied == 1
+    assert mcs[1].sorter.get(key).remote_score == 7
+    mcs[1].receive_coordination(key, remote_score=3)  # genuinely better
+    assert stats[1].coordination_msgs_applied == 2
+    assert mcs[1].sorter.get(key).remote_score == 3
+
+
+def test_remote_score_above_local_never_promotes():
+    """LC <= RC: a peer that would finish *later* must not change our
+    ranking (the clamp only ever lowers the local score)."""
+    from repro.mc.warp_sorter import WarpSorter
+
+    eng, net, mcs, stats, _ = build_pair()
+    key = incomplete_group(mcs[1], channel=1)
+    entry = mcs[1].sorter.get(key)
+    score_before, hits_before = WarpSorter.score(entry, mcs[1].cq)
+    mcs[1].receive_coordination(key, remote_score=score_before + 10**6)
+    assert WarpSorter.score(entry, mcs[1].cq) == (score_before, hits_before)
+    # ...whereas a lower remote score clamps the local one down to it.
+    mcs[1].receive_coordination(key, remote_score=0)
+    assert WarpSorter.score(entry, mcs[1].cq) == (0, hits_before)
