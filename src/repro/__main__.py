@@ -16,6 +16,9 @@ Subcommands:
   (benchmark x scheduler x seed) sweep: worker pool, retries, live
   progress, resumable manifest, machine-readable throughput report;
 * ``reproduce``   — regenerate the paper's tables and figures;
+* ``fuzz``        — differential/metamorphic fuzzing campaign over random
+  configs and workloads, with failure minimization and replayable repro
+  artifacts (``--replay``) — see docs/robustness.md;
 * ``list``        — available benchmarks and schedulers.
 """
 
@@ -190,6 +193,41 @@ def _run_restored(args) -> int:
     return 0
 
 
+def _apply_overrides(cfg: SimConfig, overrides: list[str]) -> SimConfig:
+    """Apply ``--set section.field=value`` edits; re-validates on replace."""
+    import dataclasses
+
+    for item in overrides:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--set expects section.field=value, got {item!r}")
+        if raw.lower() in ("true", "false"):
+            value: object = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        parts = key.split(".")
+        if len(parts) == 1:
+            if not hasattr(cfg, parts[0]):
+                raise ValueError(f"unknown config field {key!r}")
+            cfg = dataclasses.replace(cfg, **{parts[0]: value})
+        elif len(parts) == 2:
+            section = getattr(cfg, parts[0], None)
+            if not dataclasses.is_dataclass(section) or not hasattr(section, parts[1]):
+                raise ValueError(f"unknown config field {key!r}")
+            cfg = dataclasses.replace(
+                cfg, **{parts[0]: dataclasses.replace(section, **{parts[1]: value})}
+            )
+        else:
+            raise ValueError(f"--set supports at most one dot, got {key!r}")
+    return cfg
+
+
 def cmd_run(args) -> int:
     problem = _check_run_flags(args)
     if problem:
@@ -198,7 +236,15 @@ def cmd_run(args) -> int:
     try:
         if args.restore_from is not None:
             return _run_restored(args)
-        cfg = SimConfig(scheduler=args.scheduler or "wg-w")
+        # SimConfig.validate() runs at construction and on every --set
+        # replace; surface its one-line physical-consistency errors as
+        # usage errors, not tracebacks.
+        try:
+            cfg = SimConfig(scheduler=args.scheduler or "wg-w")
+            cfg = _apply_overrides(cfg, args.set or [])
+        except (ValueError, TypeError) as exc:
+            print(f"repro run: invalid configuration: {exc}", file=sys.stderr)
+            return 2
         hub = _make_hub(args)
         stats = simulate(
             cfg, _trace(args, cfg), telemetry=hub,
@@ -304,6 +350,80 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import load_artifact, run_campaign, run_oracle
+    from repro.fuzz.artifact import ArtifactError, config_from_dict, trace_from_json
+
+    log = (lambda _msg: None) if args.quiet else (
+        lambda msg: print(f"[fuzz] {msg}", file=sys.stderr)
+    )
+    if args.replay is not None:
+        if args.iterations is not None or args.time_budget is not None:
+            print("repro fuzz: error: --replay takes no campaign flags",
+                  file=sys.stderr)
+            return 2
+        try:
+            artifact = load_artifact(args.replay)
+        except ArtifactError as exc:
+            print(f"repro fuzz: error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            config = config_from_dict(artifact["config"])
+        except (ValueError, TypeError, KeyError) as exc:
+            print(f"repro fuzz: error: artifact config invalid: {exc}",
+                  file=sys.stderr)
+            return 2
+        trace = trace_from_json(artifact["trace"])
+        log(
+            f"replaying {args.replay}: oracle={artifact['oracle']} "
+            f"schedulers={','.join(artifact['schedulers'])} "
+            f"config={artifact['config_hash']} "
+            f"(campaign seed {artifact['campaign_seed']}, "
+            f"case {artifact['case_index']})"
+        )
+        failure = run_oracle(
+            artifact["oracle"], config, trace, artifact["schedulers"]
+        )
+        if failure is None:
+            print(
+                f"[fuzz] did NOT reproduce: oracle {artifact['oracle']} "
+                "passed on this build (bug fixed, or artifact stale)",
+                file=sys.stderr,
+            )
+            return 3
+        print(f"[fuzz] reproduced: {failure}", file=sys.stderr)
+        return 0
+
+    if args.iterations is None and args.time_budget is None:
+        print("repro fuzz: error: bound the campaign with --iterations "
+              "and/or --time-budget (or use --replay)", file=sys.stderr)
+        return 2
+    report = run_campaign(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget_s=args.time_budget,
+        schedulers=args.schedulers,
+        artifact_dir=args.artifact_dir,
+        do_minimize=not args.no_minimize,
+        log=log,
+    )
+    verdict = "clean" if report.clean else f"{len(report.failures)} failure(s)"
+    print(
+        f"[fuzz] seed {report.campaign_seed}: {report.cases_run} cases, "
+        f"{len(report.schedulers)} schedulers, {verdict} "
+        f"({report.wall_seconds:.1f}s)",
+        file=sys.stderr,
+    )
+    for failure in report.failures:
+        where = f" -> {failure.artifact_path}" if failure.artifact_path else ""
+        print(
+            f"[fuzz] case {failure.case_index} [{failure.oracle}] "
+            f"{failure.detail}{where}",
+            file=sys.stderr,
+        )
+    return 0 if report.clean else 1
+
+
 def cmd_list(_args) -> int:
     print("benchmarks:", ", ".join(benchmark_names()))
     print("schedulers:", ", ".join(sorted(SCHEDULERS)))
@@ -349,6 +469,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="memory scheduler (default wg-w)")
     common(p_run)
     telemetry_flags(p_run)
+    p_run.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                       help="override a config field, e.g. "
+                            "--set dram_timing.tras_ns=30 --set use_l1=false "
+                            "(validated; bad combinations are rejected)")
     p_run.add_argument("--json", action="store_true",
                        help="print the summary as JSON instead of a table")
     p_run.add_argument("--profile", action="store_true",
@@ -429,6 +553,33 @@ def main(argv: list[str] | None = None) -> int:
     p_rep.add_argument("--workers", type=int, default=0,
                        help="prefetch the sweep with N worker processes first")
     p_rep.set_defaults(fn=cmd_reproduce)
+
+    p_fz = sub.add_parser(
+        "fuzz",
+        help="differential/metamorphic fuzzing with failure minimization",
+    )
+    p_fz.add_argument("--iterations", type=int, default=None, metavar="N",
+                      help="number of cases to draw (deterministic in --seed)")
+    p_fz.add_argument("--time-budget", type=float, default=None, metavar="S",
+                      help="stop drawing new cases after S wall-clock seconds")
+    p_fz.add_argument("--seed", type=int, default=0,
+                      help="campaign seed; fixes the whole case stream "
+                           "(default 0)")
+    p_fz.add_argument("--schedulers", nargs="+", metavar="SCHED", default=None,
+                      choices=sorted(SCHEDULERS),
+                      help="schedulers under test (default: every "
+                           "registered policy)")
+    p_fz.add_argument("--artifact-dir", default="fuzz-artifacts", metavar="DIR",
+                      help="where minimized repro artifacts are written "
+                           "(default fuzz-artifacts/)")
+    p_fz.add_argument("--no-minimize", action="store_true",
+                      help="write failures as-is, skip delta debugging")
+    p_fz.add_argument("--replay", default=None, metavar="ARTIFACT",
+                      help="re-run one repro artifact's oracle instead of "
+                           "a campaign (exit 0 = reproduced, 3 = not)")
+    p_fz.add_argument("--quiet", action="store_true",
+                      help="suppress per-case progress on stderr")
+    p_fz.set_defaults(fn=cmd_fuzz)
 
     p_list = sub.add_parser("list", help="available benchmarks and schedulers")
     p_list.set_defaults(fn=cmd_list)

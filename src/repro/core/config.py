@@ -268,6 +268,59 @@ class SimConfig:
     use_tlb: bool = False  # §V extension: per-SM TLB with page walks
     seed: int = 1
 
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject physically inconsistent parameter combinations.
+
+        The component dataclasses check their own local shape (power-of-two
+        bank counts, positive tCK); the cross-parameter GDDR5 identities
+        only make sense on the composed config, so they live here.  Runs on
+        every construction (``__post_init__``), which covers ``replace()``
+        and therefore every config the fuzzer's generator produces.
+        """
+        t = self.dram_timing
+        if t.tras_ns < t.trcd_ns + t.trtp_ns:
+            raise ValueError(
+                f"tRAS ({t.tras_ns}ns) < tRCD + tRTP "
+                f"({t.trcd_ns}+{t.trtp_ns}ns): a row would close before its "
+                "first column access could complete; raise tRAS"
+            )
+        if t.trc_ns < t.tras_ns + t.trp_ns:
+            raise ValueError(
+                f"tRC ({t.trc_ns}ns) < tRAS + tRP ({t.tras_ns}+{t.trp_ns}ns): "
+                "the ACT-to-ACT window cannot fit the row cycle; raise tRC"
+            )
+        if t.tfaw_ns < 4 * t.trrd_ns:
+            raise ValueError(
+                f"tFAW ({t.tfaw_ns}ns) < 4*tRRD ({4 * t.trrd_ns}ns): the "
+                "four-activate window would never bind; raise tFAW or lower tRRD"
+            )
+        mc = self.mc
+        for name, value in (
+            ("read_queue_entries", mc.read_queue_entries),
+            ("write_queue_entries", mc.write_queue_entries),
+            ("row_sorter_entries", mc.row_sorter_entries),
+            ("warp_sorter_entries", mc.warp_sorter_entries),
+            ("command_queue_depth", mc.command_queue_depth),
+        ):
+            if value <= 0:
+                raise ValueError(
+                    f"mc.{name} must be a positive queue size, got {value}"
+                )
+        if not 0 <= mc.write_low_watermark < mc.write_high_watermark:
+            raise ValueError(
+                f"write watermarks must satisfy 0 <= low < high, got "
+                f"low={mc.write_low_watermark} high={mc.write_high_watermark}"
+            )
+        if self.gpu.num_sms <= 0:
+            raise ValueError(f"num_sms must be positive, got {self.gpu.num_sms}")
+        if self.dram_org.num_channels <= 0:
+            raise ValueError(
+                f"num_channels must be positive, got {self.dram_org.num_channels}"
+            )
+
     def with_scheduler(self, name: str) -> "SimConfig":
         """Return a copy configured for a different memory scheduler."""
         return replace(self, scheduler=name)

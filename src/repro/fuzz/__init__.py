@@ -1,0 +1,36 @@
+"""Differential + metamorphic fuzzing for the simulator (docs/robustness.md).
+
+The fuzzer closes the loop that PR 3's guardrails opened: a seeded
+:class:`CaseGenerator` draws random-but-valid configs and workloads, the
+oracle catalogue (:mod:`repro.fuzz.oracles`) checks every registered
+scheduler against differential and metamorphic invariants, and failures
+are delta-debugged (:mod:`repro.fuzz.minimizer`) into replayable JSON
+artifacts (:mod:`repro.fuzz.artifact`).
+
+Entry points::
+
+    python -m repro fuzz --iterations 25 --seed 0
+    python -m repro fuzz --time-budget 60 --seed 0
+    python -m repro fuzz --replay fuzz-artifacts/case-0007-invariants.json
+"""
+
+from repro.fuzz.artifact import load_artifact, save_artifact
+from repro.fuzz.generator import CaseGenerator, FuzzCase
+from repro.fuzz.harness import FuzzFailure, FuzzReport, run_campaign
+from repro.fuzz.minimizer import minimize
+from repro.fuzz.oracles import ORACLES, OracleFailure, check_case, run_oracle
+
+__all__ = [
+    "CaseGenerator",
+    "FuzzCase",
+    "FuzzFailure",
+    "FuzzReport",
+    "ORACLES",
+    "OracleFailure",
+    "check_case",
+    "load_artifact",
+    "minimize",
+    "run_campaign",
+    "run_oracle",
+    "save_artifact",
+]

@@ -1,5 +1,19 @@
 """Workload generation: trace containers, synthetic profiles, algorithmic kernels."""
 
-from repro.workloads.trace import KernelTrace, MemOp, Segment, WarpTrace
+from repro.workloads.mutate import mutate_trace
+from repro.workloads.trace import (
+    KernelTrace,
+    MemOp,
+    Segment,
+    TraceFormatError,
+    WarpTrace,
+)
 
-__all__ = ["KernelTrace", "MemOp", "Segment", "WarpTrace"]
+__all__ = [
+    "KernelTrace",
+    "MemOp",
+    "Segment",
+    "TraceFormatError",
+    "WarpTrace",
+    "mutate_trace",
+]

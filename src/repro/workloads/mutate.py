@@ -1,0 +1,170 @@
+"""Deterministic trace mutation operators for the fuzzing harness.
+
+Every operator is pure: it takes a :class:`KernelTrace` plus an explicit
+``numpy.random.Generator`` (or plain parameters) and returns a *new*
+trace, leaving the input untouched.  Given the same inputs and generator
+state the output is bit-identical, which is what makes fuzz cases and
+minimized repro artifacts replayable.
+
+The operators deliberately produce traces that are still *valid* inputs
+to the SM model — lane lists keep their length, masked lanes stay
+``None``, warp/SM ids are untouched — so a mutated trace stresses the
+memory system, not the trace loader.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.trace import KernelTrace, MemOp, Segment, WarpTrace
+
+__all__ = [
+    "clone_trace",
+    "truncate_warps",
+    "truncate_segments",
+    "churn_lane_masks",
+    "flip_read_write",
+    "flip_address_bits",
+    "mutate_trace",
+    "MUTATORS",
+]
+
+
+def clone_trace(trace: KernelTrace) -> KernelTrace:
+    """Deep-copy a trace (mutation operators edit the copy in place)."""
+    warps = []
+    for w in trace.warps:
+        segments = []
+        for s in w.segments:
+            mem = None
+            if s.mem is not None:
+                mem = MemOp(is_write=s.mem.is_write, lane_addrs=list(s.mem.lane_addrs))
+            segments.append(Segment(compute_cycles=s.compute_cycles, mem=mem))
+        warps.append(WarpTrace(w.sm_id, w.warp_id, segments))
+    return KernelTrace(name=trace.name, warps=warps)
+
+
+def truncate_warps(trace: KernelTrace, keep: list[int]) -> KernelTrace:
+    """Keep only the warps at the given indices (order preserved)."""
+    out = clone_trace(trace)
+    index = set(keep)
+    out.warps = [w for i, w in enumerate(out.warps) if i in index]
+    return out
+
+
+def truncate_segments(trace: KernelTrace, warp_index: int, n_segments: int) -> KernelTrace:
+    """Drop all but the first ``n_segments`` segments of one warp."""
+    out = clone_trace(trace)
+    w = out.warps[warp_index]
+    w.segments = w.segments[:n_segments]
+    return out
+
+
+def churn_lane_masks(
+    trace: KernelTrace, rng: np.random.Generator, fraction: float = 0.1
+) -> KernelTrace:
+    """Randomly mask active lanes and clone addresses into masked lanes.
+
+    Masking shrinks coalesced groups; un-masking (by duplicating a live
+    neighbour's address) grows them without inventing addresses outside
+    the workload's footprint.  Both directions churn the per-warp request
+    counts the warp-aware schedulers key on.
+    """
+    out = clone_trace(trace)
+    for w in out.warps:
+        for s in w.segments:
+            if s.mem is None:
+                continue
+            addrs = s.mem.lane_addrs
+            live = [a for a in addrs if a is not None]
+            if not live:
+                continue
+            for lane in range(len(addrs)):
+                if rng.random() >= fraction:
+                    continue
+                if addrs[lane] is None:
+                    addrs[lane] = int(live[int(rng.integers(len(live)))])
+                else:
+                    addrs[lane] = None
+            if all(a is None for a in addrs):
+                # Keep at least one lane live so the op still issues.
+                addrs[0] = int(live[0])
+    return out
+
+
+def flip_read_write(
+    trace: KernelTrace, rng: np.random.Generator, fraction: float = 0.1
+) -> KernelTrace:
+    """Flip the read/write direction of a fraction of memory ops."""
+    out = clone_trace(trace)
+    for w in out.warps:
+        for s in w.segments:
+            if s.mem is not None and rng.random() < fraction:
+                s.mem.is_write = not s.mem.is_write
+    return out
+
+
+def flip_address_bits(
+    trace: KernelTrace,
+    rng: np.random.Generator,
+    fraction: float = 0.05,
+    max_bit: int = 30,
+) -> KernelTrace:
+    """XOR a random low bit into a fraction of lane addresses.
+
+    Bits are capped below ``max_bit`` so addresses stay inside the
+    decomposable physical range; a single flipped bit can move a line to
+    another column, row, bank, or channel depending on its position.
+    """
+    out = clone_trace(trace)
+    for w in out.warps:
+        for s in w.segments:
+            if s.mem is None:
+                continue
+            addrs = s.mem.lane_addrs
+            for lane, addr in enumerate(addrs):
+                if addr is None or rng.random() >= fraction:
+                    continue
+                bit = int(rng.integers(max_bit))
+                addrs[lane] = addr ^ (1 << bit)
+    return out
+
+
+def _mutate_truncate_warps(trace: KernelTrace, rng: np.random.Generator) -> KernelTrace:
+    n = len(trace.warps)
+    if n <= 1:
+        return clone_trace(trace)
+    keep_n = int(rng.integers(1, n + 1))
+    keep = sorted(rng.choice(n, size=keep_n, replace=False).tolist())
+    return truncate_warps(trace, keep)
+
+
+def _mutate_truncate_segments(trace: KernelTrace, rng: np.random.Generator) -> KernelTrace:
+    candidates = [i for i, w in enumerate(trace.warps) if len(w.segments) > 1]
+    if not candidates:
+        return clone_trace(trace)
+    wi = int(rng.choice(candidates))
+    n_segs = len(trace.warps[wi].segments)
+    return truncate_segments(trace, wi, int(rng.integers(1, n_segs)))
+
+
+# Named so fuzz recipes can record which operators a case applied.
+MUTATORS = {
+    "truncate_warps": _mutate_truncate_warps,
+    "truncate_segments": _mutate_truncate_segments,
+    "churn_lane_masks": churn_lane_masks,
+    "flip_read_write": flip_read_write,
+    "flip_address_bits": flip_address_bits,
+}
+
+
+def mutate_trace(
+    trace: KernelTrace,
+    rng: np.random.Generator,
+    operators: list[str],
+) -> KernelTrace:
+    """Apply the named mutation operators in order (each rng-driven)."""
+    out = trace
+    for name in operators:
+        out = MUTATORS[name](out, rng)
+    return out

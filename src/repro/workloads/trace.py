@@ -13,12 +13,23 @@ runs (addresses and segment shapes are flattened into numpy arrays).
 
 from __future__ import annotations
 
+import zipfile
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["MemOp", "Segment", "WarpTrace", "KernelTrace"]
+__all__ = ["MemOp", "Segment", "WarpTrace", "KernelTrace", "TraceFormatError"]
+
+
+class TraceFormatError(ValueError):
+    """A persisted trace archive is corrupt or structurally inconsistent.
+
+    Raised by :meth:`KernelTrace.load` instead of the raw numpy/zipfile
+    exceptions so callers can tell "bad trace file" from a programming
+    error.  The message always names the file and, where applicable, the
+    offending array.
+    """
 
 
 @dataclass(slots=True)
@@ -115,11 +126,57 @@ class KernelTrace:
 
     @classmethod
     def load(cls, path: str) -> "KernelTrace":
-        data = np.load(path, allow_pickle=False)
-        name = str(data["name"])
-        warp_meta = data["warp_meta"]
-        seg_meta = data["seg_meta"]
-        lanes = data["lanes"]
+        try:
+            data = np.load(path, allow_pickle=False)
+        except (OSError, ValueError, zipfile.BadZipFile) as exc:
+            raise TraceFormatError(
+                f"{path}: not a readable npz trace archive ({exc})"
+            ) from exc
+        with data:
+            arrays = {}
+            for key in ("name", "warp_meta", "seg_meta", "lanes"):
+                try:
+                    arrays[key] = data[key]
+                except (KeyError, zipfile.BadZipFile, ValueError, OSError) as exc:
+                    raise TraceFormatError(
+                        f"{path}: array '{key}' missing or unreadable ({exc})"
+                    ) from exc
+        name = str(arrays["name"])
+        warp_meta = arrays["warp_meta"]
+        seg_meta = arrays["seg_meta"]
+        lanes = arrays["lanes"]
+        for key in ("warp_meta", "seg_meta", "lanes"):
+            if not np.issubdtype(arrays[key].dtype, np.integer):
+                raise TraceFormatError(
+                    f"{path}: array '{key}' has non-integer dtype "
+                    f"{arrays[key].dtype}"
+                )
+        if warp_meta.ndim != 2 or warp_meta.shape[1] != 3:
+            raise TraceFormatError(
+                f"{path}: array 'warp_meta' has shape {warp_meta.shape}, "
+                "expected (n_warps, 3)"
+            )
+        if seg_meta.ndim != 2 or seg_meta.shape[1] != 4:
+            raise TraceFormatError(
+                f"{path}: array 'seg_meta' has shape {seg_meta.shape}, "
+                "expected (n_segments, 4)"
+            )
+        if lanes.ndim != 1:
+            raise TraceFormatError(
+                f"{path}: array 'lanes' has shape {lanes.shape}, expected 1-D"
+            )
+        claimed_segs = int(warp_meta[:, 2].sum()) if len(warp_meta) else 0
+        if claimed_segs != len(seg_meta):
+            raise TraceFormatError(
+                f"{path}: array 'seg_meta' holds {len(seg_meta)} segments but "
+                f"'warp_meta' claims {claimed_segs}"
+            )
+        claimed_lanes = int((seg_meta[:, 1] * seg_meta[:, 3]).sum()) if len(seg_meta) else 0
+        if claimed_lanes != len(lanes):
+            raise TraceFormatError(
+                f"{path}: array 'lanes' holds {len(lanes)} addresses but "
+                f"'seg_meta' claims {claimed_lanes}"
+            )
         warps: list[WarpTrace] = []
         si = 0
         li = 0

@@ -136,3 +136,30 @@ def test_checkpoint_period_must_be_positive():
     with pytest.raises(SystemExit):
         main(["run", "sad", "--checkpoint-period", "0",
               "--checkpoint-out", "x.ckpt"])
+
+
+@pytest.mark.parametrize(
+    "override, fragment",
+    [
+        ("dram_timing.tras_ns=5", "tRAS"),
+        ("dram_timing.trc_ns=20", "tRC"),
+        ("dram_timing.tfaw_ns=10", "tFAW"),
+        ("mc.command_queue_depth=0", "positive queue size"),
+        ("mc.write_queue_entries=-4", "positive queue size"),
+        ("nonsense.field=1", "unknown config field"),
+        ("dram_timing.tras_ns", "section.field=value"),
+    ],
+    ids=lambda v: v if "=" in str(v) else str(v),
+)
+def test_run_set_rejects_invalid_configs(override, fragment, capsys):
+    assert main(["run", "sad", "--scale", "tiny", "--set", override]) == 2
+    err = capsys.readouterr().err
+    assert "invalid configuration" in err and fragment in err
+
+
+def test_run_set_applies_valid_overrides(capsys):
+    assert main([
+        "run", "sad", "--scale", "tiny", "--json",
+        "--set", "use_l1=false", "--set", "mc.command_queue_depth=2",
+    ]) == 0
+    assert "ipc" in capsys.readouterr().out

@@ -1,5 +1,7 @@
 """Unit tests for configuration dataclasses and timing conversion."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.config import (
@@ -7,6 +9,7 @@ from repro.core.config import (
     DRAMOrgConfig,
     DRAMTimingConfig,
     GPUConfig,
+    MCConfig,
     SimConfig,
 )
 
@@ -88,3 +91,63 @@ def test_mc_watermarks():
     assert cfg.mc.write_low_watermark == 16
     assert cfg.mc.read_queue_entries == 64
     assert cfg.mc.write_queue_entries == 64
+
+
+# -- SimConfig.validate() -----------------------------------------------------
+def test_validate_accepts_defaults_and_presets():
+    SimConfig().validate()
+    SimConfig().small().validate()
+
+
+def test_validate_rejects_tras_below_trcd_plus_trtp():
+    timing = dataclasses.replace(DRAMTimingConfig(), tras_ns=5.0)
+    with pytest.raises(ValueError, match="tRAS.*raise tRAS"):
+        SimConfig(dram_timing=timing)
+
+
+def test_validate_rejects_trc_below_tras_plus_trp():
+    timing = dataclasses.replace(DRAMTimingConfig(), trc_ns=20.0)
+    with pytest.raises(ValueError, match="tRC.*raise tRC"):
+        SimConfig(dram_timing=timing)
+
+
+def test_validate_rejects_tfaw_below_four_trrd():
+    timing = dataclasses.replace(DRAMTimingConfig(), tfaw_ns=10.0)
+    with pytest.raises(ValueError, match="tFAW.*4\\*tRRD"):
+        SimConfig(dram_timing=timing)
+
+
+@pytest.mark.parametrize("field", [
+    "read_queue_entries",
+    "write_queue_entries",
+    "row_sorter_entries",
+    "warp_sorter_entries",
+    "command_queue_depth",
+])
+@pytest.mark.parametrize("bad", [0, -4])
+def test_validate_rejects_nonpositive_queue_sizes(field, bad):
+    mc = dataclasses.replace(MCConfig(), **{field: bad})
+    with pytest.raises(ValueError, match=f"mc.{field}.*positive"):
+        SimConfig(mc=mc)
+
+
+def test_validate_rejects_inverted_watermarks():
+    mc = dataclasses.replace(
+        MCConfig(), write_low_watermark=32, write_high_watermark=16
+    )
+    with pytest.raises(ValueError, match="watermarks"):
+        SimConfig(mc=mc)
+
+
+def test_validate_runs_on_dataclasses_replace():
+    cfg = SimConfig()
+    bad_timing = dataclasses.replace(cfg.dram_timing, tras_ns=5.0)
+    with pytest.raises(ValueError, match="tRAS"):
+        dataclasses.replace(cfg, dram_timing=bad_timing)
+
+
+def test_validate_allows_exact_boundaries():
+    # DDR3-style identity: tRC == tRAS + tRP exactly must be accepted.
+    t = DRAMTimingConfig()
+    timing = dataclasses.replace(t, trc_ns=t.tras_ns + t.trp_ns)
+    SimConfig(dram_timing=timing).validate()

@@ -31,6 +31,9 @@ from repro.telemetry import TelemetryHub
 from repro.workloads.profiles import IRREGULAR_PROFILES
 from repro.workloads.synthetic import synthetic_trace
 
+import repro.idealized  # noqa: F401  (registers zero-div)
+from repro.mc.registry import SCHEDULERS
+
 # A small irregular workload: ~4000 ns simulated, every queue exercised.
 PROFILE = dataclasses.replace(IRREGULAR_PROFILES["bfs"], warps=48, loads_per_warp=6)
 
@@ -105,7 +108,7 @@ def test_guardrails_do_not_perturb_the_simulation(scheduler):
 # ---------------------------------------------------------------------------
 # checkpoint / restore
 # ---------------------------------------------------------------------------
-@pytest.mark.parametrize("scheduler", ["wg", "frfcfs"])
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
 def test_checkpoint_restore_is_bit_identical(tmp_path, scheduler):
     """A run finished from a mid-run snapshot reports the same statistics
     as an uninterrupted one — monitor ledger included."""

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.workloads.builder import ELEM_BYTES, Layout, TraceBuilder, WarpBuilder, chunk_lanes
-from repro.workloads.trace import KernelTrace, MemOp, Segment, WarpTrace
+from repro.workloads.trace import (
+    KernelTrace,
+    MemOp,
+    Segment,
+    TraceFormatError,
+    WarpTrace,
+)
 
 
 def test_segment_instruction_count():
@@ -46,6 +52,87 @@ def test_save_load_roundtrip(tmp_path):
     w0 = loaded.warps[0]
     assert w0.segments[0].mem.lane_addrs[:3] == [100, None, 204]
     assert loaded.warps[1].segments[0].mem.is_write
+
+
+# -- load() hardening ---------------------------------------------------------
+def _demo_trace() -> KernelTrace:
+    return KernelTrace("demo", [
+        WarpTrace(0, 0, [Segment(3, MemOp(False, [64, None, 128]))]),
+        WarpTrace(0, 1, [Segment(1, MemOp(True, [256]))]),
+    ])
+
+
+def _resave(path, **overrides):
+    """Rewrite a saved trace archive with some arrays replaced."""
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files}
+    arrays.update(overrides)
+    np.savez(path, **arrays)
+
+
+def test_load_rejects_non_archive(tmp_path):
+    path = str(tmp_path / "garbage.npz")
+    with open(path, "w") as fh:
+        fh.write("this is not a zip archive")
+    with pytest.raises(TraceFormatError, match="garbage.npz"):
+        KernelTrace.load(path)
+
+
+def test_load_rejects_missing_file(tmp_path):
+    with pytest.raises(TraceFormatError, match="missing.npz"):
+        KernelTrace.load(str(tmp_path / "missing.npz"))
+
+
+def test_load_rejects_missing_array(tmp_path):
+    path = str(tmp_path / "t.npz")
+    _demo_trace().save(path)
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {k: data[k] for k in data.files if k != "lanes"}
+    np.savez(path, **arrays)
+    with pytest.raises(TraceFormatError, match="'lanes'"):
+        KernelTrace.load(path)
+
+
+def test_load_rejects_bad_dtype(tmp_path):
+    path = str(tmp_path / "t.npz")
+    _demo_trace().save(path)
+    _resave(path, lanes=np.array([1.5, 2.5]))
+    with pytest.raises(TraceFormatError, match="'lanes'.*dtype"):
+        KernelTrace.load(path)
+
+
+def test_load_rejects_bad_shape(tmp_path):
+    path = str(tmp_path / "t.npz")
+    _demo_trace().save(path)
+    _resave(path, warp_meta=np.zeros((2, 2), dtype=np.int64))
+    with pytest.raises(TraceFormatError, match="'warp_meta'.*shape"):
+        KernelTrace.load(path)
+
+
+def test_load_rejects_segment_count_mismatch(tmp_path):
+    path = str(tmp_path / "t.npz")
+    _demo_trace().save(path)
+    with np.load(path, allow_pickle=False) as data:
+        warp_meta = data["warp_meta"].copy()
+    warp_meta[0, 2] += 1  # claim a segment that isn't there
+    _resave(path, warp_meta=warp_meta)
+    with pytest.raises(TraceFormatError, match="seg_meta.*claims"):
+        KernelTrace.load(path)
+
+
+def test_load_rejects_lane_count_mismatch(tmp_path):
+    path = str(tmp_path / "t.npz")
+    _demo_trace().save(path)
+    with np.load(path, allow_pickle=False) as data:
+        lanes = data["lanes"].copy()
+    _resave(path, lanes=lanes[:-1])  # drop one flattened lane address
+    with pytest.raises(TraceFormatError, match="lanes.*claims"):
+        KernelTrace.load(path)
+
+
+def test_trace_format_error_is_value_error(tmp_path):
+    # Callers that already catch ValueError keep working.
+    assert issubclass(TraceFormatError, ValueError)
 
 
 # -- builders -----------------------------------------------------------------
