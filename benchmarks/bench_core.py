@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Standalone driver for the core hot-path benchmark.
+
+Equivalent to ``python -m repro bench`` (same flags, same report); kept
+under ``benchmarks/`` so the perf harness lives next to the per-figure
+benchmark suite.  Typical uses::
+
+    # full grid (every registered scheduler, TINY + SMALL)
+    python benchmarks/bench_core.py --out results/BENCH_core.json
+
+    # CI regression gate against the committed reference
+    python benchmarks/bench_core.py --quick \
+        --baseline results/BENCH_core.json --check
+
+See docs/performance.md for how to read the report.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.__main__ import main as repro_main
+
+    args = sys.argv[1:] if argv is None else argv
+    return repro_main(["bench", *args])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

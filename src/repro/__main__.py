@@ -19,6 +19,10 @@ Subcommands:
 * ``fuzz``        — differential/metamorphic fuzzing campaign over random
   configs and workloads, with failure minimization and replayable repro
   artifacts (``--replay``) — see docs/robustness.md;
+* ``bench``       — core hot-path throughput benchmark (events/sec and
+  wall time per scheduler, single channel), written as
+  ``BENCH_core.json`` and optionally gated against a committed baseline
+  (``--baseline``/``--check``) — see docs/performance.md;
 * ``list``        — available benchmarks and schedulers.
 """
 
@@ -424,6 +428,52 @@ def cmd_fuzz(args) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_bench(args) -> int:
+    from repro.analysis.bench import (
+        compare_reports,
+        default_jobs,
+        load_report,
+        run_bench,
+    )
+
+    log = lambda msg: print(f"[bench] {msg}", file=sys.stderr)  # noqa: E731
+    try:
+        jobs = default_jobs(
+            quick=args.quick,
+            schedulers=args.schedulers,
+            scales=args.scales,
+            bench=args.benchmark,
+            seed=args.seed if args.seed is not None else 1,
+            repeats=args.repeats,
+        )
+    except KeyError as exc:
+        print(f"repro bench: error: unknown scale {exc}", file=sys.stderr)
+        return 2
+    report = run_bench(jobs, progress=log)
+    print(report.format())
+    if args.out:
+        report.write(args.out)
+        log(f"report -> {args.out}")
+    if args.baseline is None:
+        return 0
+    try:
+        baseline = load_report(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro bench: error: cannot read baseline: {exc}", file=sys.stderr)
+        return 2
+    lines, regressions = compare_reports(
+        report.to_dict(), baseline, tolerance=args.tolerance
+    )
+    for line in lines:
+        log(line)
+    if regressions:
+        for msg in regressions:
+            print(f"[bench] REGRESSION: {msg}", file=sys.stderr)
+        return 1 if args.check else 0
+    log(f"no regression beyond {args.tolerance:.0%} against {args.baseline}")
+    return 0
+
+
 def cmd_list(_args) -> int:
     print("benchmarks:", ", ".join(benchmark_names()))
     print("schedulers:", ", ".join(sorted(SCHEDULERS)))
@@ -580,6 +630,38 @@ def main(argv: list[str] | None = None) -> int:
     p_fz.add_argument("--quiet", action="store_true",
                       help="suppress per-case progress on stderr")
     p_fz.set_defaults(fn=cmd_fuzz)
+
+    p_b = sub.add_parser(
+        "bench",
+        help="core hot-path throughput benchmark (docs/performance.md)",
+    )
+    p_b.add_argument("--quick", action="store_true",
+                     help="CI profile: paper schedulers, TINY scale, 2 repeats")
+    p_b.add_argument("--benchmark", default="bfs",
+                     choices=sorted(benchmark_names()),
+                     help="workload to measure (default bfs)")
+    p_b.add_argument("--schedulers", nargs="+", metavar="SCHED", default=None,
+                     choices=sorted(SCHEDULERS),
+                     help="schedulers to measure (default: --quick set or all)")
+    p_b.add_argument("--scales", nargs="+", metavar="SCALE", default=None,
+                     choices=[s.name.lower() for s in Scale],
+                     help="scales to measure (default: tiny+small, or tiny "
+                          "with --quick)")
+    p_b.add_argument("--seed", type=int, default=None,
+                     help="trace RNG seed (default 1)")
+    p_b.add_argument("--repeats", type=int, default=None,
+                     help="runs per job; best wall time is reported")
+    p_b.add_argument("--out", default="BENCH_core.json", metavar="PATH",
+                     help="machine-readable report (default BENCH_core.json; "
+                          "'' to skip)")
+    p_b.add_argument("--baseline", default=None, metavar="PATH",
+                     help="compare against a committed BENCH_core report")
+    p_b.add_argument("--check", action="store_true",
+                     help="exit 1 when normalized events/sec regresses more "
+                          "than --tolerance below the baseline")
+    p_b.add_argument("--tolerance", type=float, default=0.15,
+                     help="allowed fractional regression (default 0.15)")
+    p_b.set_defaults(fn=cmd_bench)
 
     p_list = sub.add_parser("list", help="available benchmarks and schedulers")
     p_list.set_defaults(fn=cmd_list)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 __all__ = [
     "DRAMTimingConfig",
@@ -68,7 +69,7 @@ class DRAMTimingConfig:
             raise ValueError("tCK must be positive")
 
     # -- derived integer-picosecond values ---------------------------------
-    @property
+    @cached_property
     def tck_ps(self) -> int:
         return _to_ps(self.tck_ns)
 
@@ -77,80 +78,80 @@ class DRAMTimingConfig:
         cycles = math.ceil(round(ns / self.tck_ns, 9))
         return cycles * self.tck_ps
 
-    @property
+    @cached_property
     def trc_ps(self) -> int:
         return self._ck_align(self.trc_ns)
 
-    @property
+    @cached_property
     def trcd_ps(self) -> int:
         return self._ck_align(self.trcd_ns)
 
-    @property
+    @cached_property
     def trp_ps(self) -> int:
         return self._ck_align(self.trp_ns)
 
-    @property
+    @cached_property
     def tcas_ps(self) -> int:
         return self._ck_align(self.tcas_ns)
 
-    @property
+    @cached_property
     def tras_ps(self) -> int:
         return self._ck_align(self.tras_ns)
 
-    @property
+    @cached_property
     def trrd_ps(self) -> int:
         return self._ck_align(self.trrd_ns)
 
-    @property
+    @cached_property
     def twtr_ps(self) -> int:
         return self._ck_align(self.twtr_ns)
 
-    @property
+    @cached_property
     def tfaw_ps(self) -> int:
         return self._ck_align(self.tfaw_ns)
 
-    @property
+    @cached_property
     def trtp_ps(self) -> int:
         return self._ck_align(self.trtp_ns)
 
-    @property
+    @cached_property
     def twr_ps(self) -> int:
         return self._ck_align(self.twr_ns)
 
-    @property
+    @cached_property
     def twl_ps(self) -> int:
         return self.twl_ck * self.tck_ps
 
-    @property
+    @cached_property
     def tburst_ps(self) -> int:
         return self.tburst_ck * self.tck_ps
 
-    @property
+    @cached_property
     def trtrs_ps(self) -> int:
         return self.trtrs_ck * self.tck_ps
 
-    @property
+    @cached_property
     def tccdl_ps(self) -> int:
         return self.tccdl_ck * self.tck_ps
 
-    @property
+    @cached_property
     def tccds_ps(self) -> int:
         return self.tccds_ck * self.tck_ps
 
-    @property
+    @cached_property
     def trefi_ps(self) -> int:
         return self._ck_align(self.trefi_ns)
 
-    @property
+    @cached_property
     def trfc_ps(self) -> int:
         return self._ck_align(self.trfc_ns)
 
-    @property
+    @cached_property
     def row_miss_penalty_ps(self) -> int:
         """tRP + tRCD + tCAS: array latency of a row-buffer miss (~36 ns)."""
         return self.trp_ps + self.trcd_ps + self.tcas_ps
 
-    @property
+    @cached_property
     def row_hit_latency_ps(self) -> int:
         """tCAS: array latency of a row-buffer hit (~12 ns)."""
         return self.tcas_ps

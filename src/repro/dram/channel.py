@@ -33,6 +33,25 @@ class Channel:
         self.banks = [
             Bank(i, i // org.banks_per_group) for i in range(org.banks_per_channel)
         ]
+        # Hot timing parameters, resolved once (the earliest-issue queries
+        # run per candidate bank per pump wake — property indirection on
+        # the config object is measurable there).
+        self._tck = timing.tck_ps
+        self._trrd = timing.trrd_ps
+        self._tfaw = timing.tfaw_ps
+        self._tccdl = timing.tccdl_ps
+        self._tccds = timing.tccds_ps
+        self._twl = timing.twl_ps
+        self._tcas = timing.tcas_ps
+        self._trtrs = timing.trtrs_ps
+        self._twtr = timing.twtr_ps
+        self._tburst = timing.tburst_ps
+        #: Bumped on every timing-state mutation (any command issue; the
+        #: refresh gate bumps it too when it adjusts bank/bus state).
+        #: Earliest-issue answers are pure functions of (state, now) with
+        #: ``earliest(t1) = max(t1, earliest(t0))`` for t1 >= t0 while the
+        #: version holds, so controllers may cache them until it changes.
+        self.version = 0
         self.next_cmd_free = 0  # command bus
         self.last_act_any = -(10**15)  # tRRD tracking
         self.act_window: list[int] = []  # last 4 ACT instants (tFAW)
@@ -69,9 +88,9 @@ class Channel:
     # ------------------------------------------------------------------
     def earliest_act(self, bank_idx: int, now: int) -> int:
         b = self.banks[bank_idx]
-        t = max(now, b.earliest_act, self.next_cmd_free, self.last_act_any + self.t.trrd_ps)
+        t = max(now, b.earliest_act, self.next_cmd_free, self.last_act_any + self._trrd)
         if len(self.act_window) >= 4:
-            t = max(t, self.act_window[-4] + self.t.tfaw_ps)
+            t = max(t, self.act_window[-4] + self._tfaw)
         return t
 
     def earliest_pre(self, bank_idx: int, now: int) -> int:
@@ -83,21 +102,21 @@ class Channel:
         t = max(now, b.earliest_col, self.next_cmd_free)
         # Column-to-column spacing depends on bank-group relationship.
         if self.last_col_cmd > -(10**14):
-            ccd = self.t.tccdl_ps if b.group == self.last_col_group else self.t.tccds_ps
+            ccd = self._tccdl if b.group == self.last_col_group else self._tccds
             t = max(t, self.last_col_cmd + ccd)
         if is_write:
             # Write data must not start before the bus frees (plus a
             # turnaround bubble after read data).
-            data_lead = self.t.twl_ps
+            data_lead = self._twl
             t = max(t, self.data_bus_free - data_lead)
             if self.last_read_data_end > -(10**14):
-                t = max(t, self.last_read_data_end + self.t.trtrs_ps - data_lead)
+                t = max(t, self.last_read_data_end + self._trtrs - data_lead)
         else:
-            data_lead = self.t.tcas_ps
+            data_lead = self._tcas
             t = max(t, self.data_bus_free - data_lead)
             # tWTR: end of write data -> next read *command*.
             if self.last_write_data_end > -(10**14):
-                t = max(t, self.last_write_data_end + self.t.twtr_ps)
+                t = max(t, self.last_write_data_end + self._twtr)
         return t
 
     def earliest_for_request(
@@ -119,8 +138,9 @@ class Channel:
     # issue actions (caller must respect the earliest-issue times)
     # ------------------------------------------------------------------
     def _consume_cmd_bus(self, now: int) -> None:
-        self.next_cmd_free = now + self.t.tck_ps
+        self.next_cmd_free = now + self._tck
         self.commands_issued += 1
+        self.version += 1
 
     def issue_act(self, bank_idx: int, row: int, now: int) -> None:
         b = self.banks[bank_idx]
@@ -158,7 +178,7 @@ class Channel:
         self.last_col_cmd = now
         self.last_col_group = b.group
         self.data_bus_free = data_end
-        self.data_bus_busy_ps += self.bursts_per_access * self.t.tburst_ps
+        self.data_bus_busy_ps += self.bursts_per_access * self._tburst
         if is_write:
             self.last_write_data_end = data_end
         else:

@@ -18,6 +18,12 @@ consistency probes* attached to controller instances:
 * ``load-latency-bounds`` — every completed vector load respects the
   protocol floor (a DRAM-serviced load cannot return before tCAS) and
   the watchdog ceiling.
+* ``scorer-differential`` — at every transaction-scheduler pick, the
+  incrementally maintained BASJF score of every complete warp-group
+  (:meth:`WarpSorter.score_incremental`) must equal the naive
+  walk-every-request reference (:meth:`WarpSorter.score_naive`); any
+  drift in the maintained per-bank chain state surfaces here at the
+  exact decision that would have used it.
 
 **Differential oracles** — quantities fixed at *injection* (before any
 scheduling): instruction, load, and coalesced-request totals plus the
@@ -48,6 +54,7 @@ from repro.guardrails.checkpoint import load_checkpoint
 from repro.guardrails.config import GuardrailConfig
 from repro.guardrails.invariants import InvariantViolation
 from repro.dram.validate import ProtocolViolationError
+from repro.mc.warp_sorter import WarpSorter
 from repro.telemetry.hub import TelemetryHub
 from repro.workloads.trace import KernelTrace
 
@@ -145,6 +152,26 @@ def attach_consistency_probes(system: GPUSystem) -> None:
                     )
 
             mc._merb_gate = merb_gate
+        if hasattr(mc, "sorter") and hasattr(mc, "_pick_with_room"):
+            orig_pick = mc._pick_with_room
+
+            def pick_with_room(now, _mc=mc, _orig=orig_pick):
+                cq = _mc.cq
+                for entry in _mc.sorter.complete_groups():
+                    fast = WarpSorter.score_incremental(entry, cq)
+                    slow = WarpSorter.score_naive(entry, cq)
+                    if fast != slow:
+                        raise OracleFailure(
+                            "scorer-differential",
+                            f"channel {_mc.channel_id}: warp-group "
+                            f"{entry.key} scores (score, hits)={fast} "
+                            f"incrementally but {slow} by the naive walk "
+                            f"(stats {entry.bank_stats})",
+                            scheduler,
+                        )
+                return _orig(now)
+
+            mc._pick_with_room = pick_with_room
 
 
 # ----------------------------------------------------------------------
@@ -426,6 +453,7 @@ ORACLES = {
     "forwarding-consistency": "read forwarded iff its line is buffered (queue or overflow)",
     "merb-gate-contract": "one MERB gate call inserts at most space-1 commands",
     "load-latency-bounds": "per-load latency within [tCAS floor, watchdog ceiling]",
+    "scorer-differential": "incremental BASJF score == naive walk at every pick",
     "differential-totals": "injection-time totals identical across schedulers",
     "trace-equivalence": "wg == wg-m bit-for-bit on a single channel",
     "determinism": "same seed, same summary",
@@ -466,7 +494,8 @@ def run_oracle(oracle: str, config: SimConfig, trace: KernelTrace,
     """Re-run exactly one catalogue oracle; returns its failure or None."""
     try:
         if oracle in ("invariants", "forwarding-consistency",
-                      "merb-gate-contract", "load-latency-bounds"):
+                      "merb-gate-contract", "load-latency-bounds",
+                      "scorer-differential"):
             for scheduler in schedulers:
                 run_guarded(config, trace, scheduler)
         elif oracle == "differential-totals":

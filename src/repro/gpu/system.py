@@ -266,6 +266,13 @@ class GPUSystem:
             )
             if remaining is not None:
                 remaining -= engine.events_processed - before
+            if engine.empty():
+                # The run finished inside this segment (the engine parks
+                # the clock at the segment bound).  Periodic work at the
+                # boundary would be pure noise now — a checkpoint of a
+                # completed run cannot be resumed into anything, and
+                # ``final_check`` covers the monitor.
+                break
             now = engine.now
             if self.injector is not None and self.injector.pending:
                 self.injector.apply_due(self, now)

@@ -41,7 +41,6 @@ is exactly what the spec describes — no half-executed event weirdness.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -172,7 +171,7 @@ class FaultInjector:
     ) -> bool:
         engine = system.engine
         target = None
-        for entry in engine._queue:
+        for entry in engine.iter_pending():
             _, _, fn, args = entry
             if getattr(fn, "__name__", "") != "on_dram_data":
                 continue
@@ -187,13 +186,11 @@ class FaultInjector:
                 target = entry  # earliest matching response event
         if target is None:
             return False
-        t, _, fn, args = target
+        t, seq, fn, args = target
         if spec.kind == "drop_response":
-            engine._queue.remove(target)
-            heapq.heapify(engine._queue)
+            engine.remove_event(t, seq)
         elif spec.kind == "delay_response":
-            engine._queue.remove(target)
-            heapq.heapify(engine._queue)
+            engine.remove_event(t, seq)
             engine.schedule_at(max(now_ps, t + spec.delay_ps), fn, *args)
         else:  # duplicate_response
             engine.schedule_at(t, fn, *args)
@@ -220,3 +217,6 @@ class FaultInjector:
             bank.earliest_act = 0
             bank.earliest_pre = 0
             bank.earliest_col = 0
+        # The erased horizons must be *seen*: invalidate any cached
+        # next-legal-issue scan so the controller misbehaves immediately.
+        channel.version += 1

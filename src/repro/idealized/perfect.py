@@ -90,6 +90,9 @@ class ZeroDivergenceController(FRFCFSController):
         # pipelines with other transfers.
         self.channel.data_bus_free = start + burst
         self.channel.data_bus_busy_ps += burst
+        # Timing state mutated outside a command issue: invalidate the
+        # command scheduler's next-legal-issue cache.
+        self.channel.version += 1
         data_end = start + self.t.tcas_ps + burst
         req.t_data = data_end
         req.was_row_hit = True

@@ -97,6 +97,17 @@ class MemoryController:
         self._group_ptr = 0
         self._bank_ptr = [0] * self.org.num_bank_groups
 
+        # Next-legal-issue cache: the result of one full bank scan —
+        # ``(cq_version, channel_version, entries, wake)`` where entries is
+        # the scan-ordered list of ``(bank, head, kind, earliest)`` and
+        # wake the controller-wide minimum earliest.  Valid until either
+        # version moves (command issued, queue mutated, refresh adjusted
+        # timing): earliest-issue answers are time-shift exact under
+        # unchanged state (``earliest(t1) = max(t1, earliest(t0))``), so a
+        # pump wake with a fresh cache issues from an O(1) lookup instead
+        # of re-scanning all banks and re-deriving their timing.
+        self._scan_cache: Optional[tuple] = None
+
         # Pump arming.
         self._armed: Optional[int] = None
 
@@ -188,11 +199,15 @@ class MemoryController:
     # pump
     # ------------------------------------------------------------------
     def _kick(self, at: Optional[int] = None) -> None:
-        t = self.engine.now if at is None else max(at, self.engine.now)
+        now = self.engine.now
+        t = now if at is None or at <= now else at
         if self._armed is not None and self._armed <= t:
             return
         self._armed = t
-        self.engine.schedule_at(t, self._pump)
+        if t == now:
+            self.engine.schedule_now(self._pump)
+        else:
+            self.engine.schedule_at(t, self._pump)
 
     def _pump(self) -> None:
         now = self.engine.now
@@ -300,6 +315,17 @@ class MemoryController:
             return CommandKind.ACT, self.channel.earliest_act(bank, now)
         return CommandKind.PRE, self.channel.earliest_pre(bank, now)
 
+    def _issue_after(self, bank: int, head: QueuedRequest, kind, now: int) -> Optional[int]:
+        """Issue ``kind`` on ``bank`` and return the follow-up wake time."""
+        self._do_issue(bank, head, kind, now)
+        # Advance the round-robin pointers past this bank.
+        g = bank // self.org.banks_per_group
+        self._group_ptr = (g + 1) % self.org.num_bank_groups
+        self._bank_ptr[g] = (bank % self.org.banks_per_group + 1) % self.org.banks_per_group
+        if not self.cq.empty() or not self._sorter_empty() or self.write_queue:
+            return now + self.t.tck_ps
+        return None
+
     def _issue_one_command(self, now: int) -> Optional[int]:
         """Issue at most one DRAM command at ``now``.
 
@@ -313,23 +339,37 @@ class MemoryController:
             if self.cq.empty():
                 return None
             return self.channel.next_cmd_free
+        cache = self._scan_cache
+        if cache is not None:
+            cq_v, ch_v, entries, wake = cache
+            if cq_v == self.cq.version and ch_v == self.channel.version:
+                # Nothing changed since the scan: the cached earliest-issue
+                # times are still exact (time-shifted to ``now``), so the
+                # first now-ready entry is precisely what a re-scan would
+                # pick.  The common case is waking exactly at ``wake``.
+                if wake > now:
+                    return wake
+                for bank, head, kind, earliest in entries:
+                    if earliest <= now:
+                        return self._issue_after(bank, head, kind, now)
+                return wake  # unreachable: wake <= now implies a ready entry
+            self._scan_cache = None
         best_earliest: Optional[int] = None
+        entries = []
         for bank in self._bank_order():
             head = self.cq.head(bank)
             if head is None:
                 continue
             kind, earliest = self._head_command(bank, head, now)
             if earliest <= now:
-                self._do_issue(bank, head, kind, now)
-                # Advance the round-robin pointers past this bank.
-                g = bank // self.org.banks_per_group
-                self._group_ptr = (g + 1) % self.org.num_bank_groups
-                self._bank_ptr[g] = (bank % self.org.banks_per_group + 1) % self.org.banks_per_group
-                if not self.cq.empty() or not self._sorter_empty() or self.write_queue:
-                    return now + self.t.tck_ps
-                return None
+                return self._issue_after(bank, head, kind, now)
+            entries.append((bank, head, kind, earliest))
             if best_earliest is None or earliest < best_earliest:
                 best_earliest = earliest
+        if best_earliest is not None:
+            self._scan_cache = (
+                self.cq.version, self.channel.version, entries, best_earliest
+            )
         return best_earliest
 
     def _do_issue(self, bank: int, head: QueuedRequest, kind: CommandKind, now: int) -> None:
@@ -405,6 +445,7 @@ class MemoryController:
         for bank in self.channel.banks:
             bank.earliest_act = max(bank.earliest_act, end)
         self.channel.next_cmd_free = max(self.channel.next_cmd_free, end)
+        self.channel.version += 1  # timing state mutated outside an issue
         self.stats.refreshes += 1
         self._next_refresh += self.t.trefi_ps
         return end

@@ -53,6 +53,14 @@ class CommandQueues:
         self.queue_score = [0] * n
         self.last_sched_row: list[Optional[int]] = [None] * n
         self.hits_since_row_change = [0] * n
+        # O(1) occupancy aggregates (maintained by insert/pop).
+        self._total = 0
+        self._reads = 0
+        self._busy = 0
+        #: Bumped on every insert/pop; consumers (the command scheduler's
+        #: next-legal-issue cache, the incremental warp-group scores) may
+        #: cache derived state until it moves.
+        self.version = 0
 
     # -- scoring helpers ------------------------------------------------------
     def predicted_hit(self, bank: int, row: int) -> bool:
@@ -70,17 +78,17 @@ class CommandQueues:
         return len(self.queues[bank])
 
     def total_occupancy(self) -> int:
-        return sum(len(q) for q in self.queues)
+        return self._total
 
     def busy_banks(self) -> int:
         """Number of banks with pending work (MERB table index)."""
-        return sum(1 for q in self.queues if q)
+        return self._busy
 
     def empty(self) -> bool:
-        return all(not q for q in self.queues)
+        return self._total == 0
 
     def pending_reads(self) -> int:
-        return sum(1 for q in self.queues for e in q if not e.req.is_write)
+        return self._reads
 
     # -- mutation ----------------------------------------------------------------
     def insert(self, req: MemoryRequest, now_ps: int) -> QueuedRequest:
@@ -88,7 +96,14 @@ class CommandQueues:
         bank = req.bank
         score = self.request_score(bank, req.row)
         entry = QueuedRequest(req, score, now_ps)
-        self.queues[bank].append(entry)
+        q = self.queues[bank]
+        if not q:
+            self._busy += 1
+        q.append(entry)
+        self._total += 1
+        if not req.is_write:
+            self._reads += 1
+        self.version += 1
         self.queue_score[bank] += score
         if score == SCORE_HIT:
             # The MERB counter counts row-hit *bursts* (§IV-D).
@@ -103,7 +118,14 @@ class CommandQueues:
 
     def pop(self, bank: int) -> QueuedRequest:
         """Remove the head entry after its column command issued."""
-        entry = self.queues[bank].popleft()
+        q = self.queues[bank]
+        entry = q.popleft()
+        if not q:
+            self._busy -= 1
+        self._total -= 1
+        if not entry.req.is_write:
+            self._reads -= 1
+        self.version += 1
         self.queue_score[bank] -= entry.score
         return entry
 

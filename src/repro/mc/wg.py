@@ -24,6 +24,7 @@ Two hygiene rules keep SJF safe in a real controller:
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Optional
 
 from repro.core.request import MemoryRequest
@@ -39,6 +40,13 @@ class WGController(MemoryController):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.sorter = WarpSorter()
+        # (sorter.version, cq.version) snapshots under which the last
+        # pick / pressure fallback found nothing to do.  A "no group has
+        # room" outcome is *time-independent* — it depends only on group
+        # membership and queue occupancy, never on rank order — so it
+        # stays valid until one of those versions moves.
+        self._pick_none: Optional[tuple[int, int]] = None
+        self._fallback_noop: Optional[tuple[int, int]] = None
 
     # -- base hooks -----------------------------------------------------------
     def _accept_read(self, req: MemoryRequest) -> None:
@@ -61,37 +69,74 @@ class WGController(MemoryController):
             self._on_group_selected(entry, score, now)
             self._insert_group(entry, now)
 
-    def _rank_key(self, entry: WarpGroupEntry, score: int, now: int):
+    def _rank_key(self, entry: WarpGroupEntry, score: int, hits: int, now: int):
         """Sort key: over-age groups first, then BASJF with tie-breaks."""
         overage = 0 if now - entry.arrival_ps > self.age_threshold_ps else 1
-        _, hits = WarpSorter.score(entry, self.cq)
         return (overage, score, -hits, entry.arrival_ps, entry.key)
 
-    def _ranked_groups(self, now: int) -> list[tuple[WarpGroupEntry, int]]:
-        scored = [
-            (e, WarpSorter.score(e, self.cq)[0]) for e in self.sorter.complete_groups()
-        ]
-        scored.sort(key=lambda es: self._rank_key(es[0], es[1], now))
-        return scored
+    def _ranked_groups(self, now: int) -> list[tuple[tuple, WarpGroupEntry, int]]:
+        """(rank key, entry, score) of every complete group, best first.
+
+        One scorer evaluation per group: score and hit count come out of
+        the same pass.  Diagnostic view — the hot path
+        (:meth:`_pick_with_room`) selects the minimum directly instead
+        of sorting.
+        """
+        score_fn = WarpSorter.score
+        cq = self.cq
+        ranked = []
+        for e in self.sorter.complete_groups():
+            score, hits = score_fn(e, cq)
+            ranked.append((self._rank_key(e, score, hits, now), e, score))
+        ranked.sort(key=itemgetter(0))
+        return ranked
 
     def _pick_with_room(self, now: int) -> Optional[tuple[WarpGroupEntry, int]]:
         """Best-ranked complete group whose command queues have room.
 
         Skipping blocked groups avoids head-of-line idling: a full bank
-        must not keep other banks' work waiting in the sorter.
+        must not keep other banks' work waiting in the sorter.  The
+        "first with room in rank order" of the paper's arbiter is
+        computed as a single min-scan — identical choice (rank keys end
+        in the unique group key, so there are no ties), no sort.  Room
+        is only probed when a group actually beats the best-so-far.
         """
-        for entry, score in self._ranked_groups(now):
-            if self._room_for(entry):
-                return entry, score
-        return None
+        if not self.sorter.n_complete:
+            return None
+        state = (self.sorter.version, self.cq.version)
+        if state == self._pick_none:
+            return None
+        score_fn = WarpSorter.score
+        cq = self.cq
+        best_key = None
+        best: Optional[WarpGroupEntry] = None
+        best_score = 0
+        for e in self.sorter.complete_groups():
+            score, hits = score_fn(e, cq)
+            key = self._rank_key(e, score, hits, now)
+            if (best_key is None or key < best_key) and self._room_for(e):
+                best_key = key
+                best = e
+                best_score = score
+        if best is None:
+            self._pick_none = state
+            return None
+        return best, best_score
 
     def _room_for(self, entry: WarpGroupEntry) -> bool:
         """Require nominal space in every bank queue the group touches."""
-        return all(self.cq.space(b) > 0 for b in entry.by_bank)
+        queues = self.cq.queues
+        depth = self.cq.depth
+        for bank in entry.by_bank:
+            if len(queues[bank]) >= depth:
+                return False
+        return True
 
     def _pressure_fallback(self, now: int) -> None:
         """Escape hatch for the full-queue / no-complete-group deadlock."""
         if self._reads_pending < self.mc.read_queue_entries and not self._read_overflow:
+            return
+        if (self.sorter.version, self.cq.version) == self._fallback_noop:
             return
         while True:
             best = None
@@ -101,6 +146,9 @@ class WGController(MemoryController):
                 if best is None or entry.arrival_ps < best.arrival_ps:
                     best = entry
             if best is None or not self._room_for(best):
+                # Like _pick_with_room's cache: this outcome only moves
+                # when membership or queue occupancy does.
+                self._fallback_noop = (self.sorter.version, self.cq.version)
                 return
             self._insert_group(best, now)
 

@@ -41,8 +41,8 @@ class WGShareController(WGWController):
                         sharers += 1
         return min(MAX_SHARING_BONUS, sharers)
 
-    def _rank_key(self, entry: WarpGroupEntry, score: int, now: int):
-        base = super()._rank_key(entry, score, now)
+    def _rank_key(self, entry: WarpGroupEntry, score: int, hits: int, now: int):
+        base = super()._rank_key(entry, score, hits, now)
         if base[0] != 1:
             return base  # promoted (WG-W unit group) or over-age: keep
         adjusted = max(0, score - self._sharing_bonus(entry))

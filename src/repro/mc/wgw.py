@@ -23,8 +23,8 @@ class WGWController(WGBwController):
         guard = self.mc.write_high_watermark - self.mc.wgw_drain_guard_entries
         return len(self.write_queue) >= guard
 
-    def _rank_key(self, entry: WarpGroupEntry, score: int, now: int):
-        base = super()._rank_key(entry, score, now)
+    def _rank_key(self, entry: WarpGroupEntry, score: int, hits: int, now: int):
+        base = super()._rank_key(entry, score, hits, now)
         if self._near_drain() and entry.n_requests == 1:
             return (-1, *base[1:])  # ahead of every non-promoted group
         return base

@@ -1,9 +1,11 @@
 """Unit tests for the discrete-event engine."""
 
+import pickle
+
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.engine import Engine, SimulationError
+from repro.core.engine import NEAR_HORIZON_PS, Engine, SimulationError
 
 
 def test_events_fire_in_time_order():
@@ -178,6 +180,146 @@ def test_until_ps_with_empty_queue_leaves_clock_unchanged():
     assert eng.now == 0
 
 
+def test_until_ps_when_queue_drains_before_bound_parks_at_bound():
+    # The guardrails' segmented drive loop slices a run into
+    # run(until_ps=...) windows; the terminal clock must be *consistent*
+    # whether the last window still holds events or drained early.
+    eng = Engine()
+    seen = []
+    eng.schedule_at(10, lambda: seen.append(10))
+    eng.schedule_at(20, lambda: seen.append(20))
+    eng.run(until_ps=100)  # queue drains well before the bound
+    assert seen == [10, 20]
+    assert eng.now == 100  # parked at the bound, same as the events-remain case
+    # A follow-up bound on the now-empty engine is a no-op (no time-warp).
+    eng.run(until_ps=500)
+    assert eng.now == 100
+
+
+def test_until_ps_drain_exactly_at_bound():
+    eng = Engine()
+    eng.schedule_at(50, lambda: None)
+    eng.run(until_ps=50)
+    assert eng.now == 50
+
+
+def test_until_ps_never_moves_clock_backward():
+    eng = Engine()
+    eng.schedule_at(100, lambda: None)
+    eng.run()
+    assert eng.now == 100
+    eng.schedule_at(150, lambda: None)
+    eng.run(until_ps=40)  # bound already in the past: nothing fires...
+    assert eng.now == 100  # ...and the clock does not rewind
+    eng.run()
+    assert eng.now == 150
+
+
+def test_stop_predicate_suppresses_until_ps_jump():
+    # A stop-predicate halt means "freeze where we are", not "pretend we
+    # reached the window boundary".
+    eng = Engine()
+    seen = []
+    for t in (1, 2, 3):
+        eng.schedule_at(t, lambda t=t: seen.append(t))
+    eng.run(until_ps=100, stop=lambda: len(seen) >= 2)
+    assert seen == [1, 2]
+    assert eng.now == 2
+
+
+def test_schedule_now_runs_this_instant_in_insertion_order():
+    eng = Engine()
+    seen = []
+    eng.schedule_at(10, lambda: seen.append("event"))
+
+    def driver():
+        seen.append("driver")
+        eng.schedule_now(lambda: seen.append("kick1"))
+        eng.schedule_at(eng.now, lambda: seen.append("slow-path"))
+        eng.schedule_now(lambda: seen.append("kick2"))
+
+    eng.schedule_at(5, driver)
+    eng.run()
+    # schedule_now and schedule_at(now) interleave by insertion order, and
+    # all fire before the strictly-later event.
+    assert seen == ["driver", "kick1", "slow-path", "kick2", "event"]
+    assert eng.now == 10
+
+
+def test_tie_ordering_across_near_ring_and_far_heap():
+    # Two events at the same instant, one routed to the far heap (beyond
+    # the horizon at scheduling time), one to the near ring (scheduled
+    # later, from closer in): insertion order must still win.
+    eng = Engine()
+    t = NEAR_HORIZON_PS * 3
+    seen = []
+    eng.schedule_at(t, lambda: seen.append("far-first"))  # heap tier
+    eng.schedule_at(
+        t - 10, lambda: eng.schedule_at(t, lambda: seen.append("near-second"))
+    )
+    eng.run()
+    assert seen == ["far-first", "near-second"]
+
+    # And the mirror image: the near-ring event inserted before the far
+    # event arrives at the same instant via the heap.
+    eng2 = Engine()
+    t2 = eng2.now + NEAR_HORIZON_PS * 6
+    seen2 = []
+
+    def plant_near():
+        eng2.schedule_at(t2, lambda: seen2.append("near-first"))  # ring tier
+        eng2.schedule_at(t2 + NEAR_HORIZON_PS * 2,
+                         lambda: seen2.append("far-later"))
+
+    eng2.schedule_at(t2 - 10, plant_near)
+    eng2.schedule_at(t2, lambda: seen2.append("far-second"))  # heap tier
+    eng2.run()
+    assert seen2 == ["far-second", "near-first", "far-later"]
+
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=3 * NEAR_HORIZON_PS),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_property_two_tier_order_matches_single_heap_semantics(times):
+    # Times straddle the near/far horizon; firing order must equal a
+    # stable sort by time (ties by insertion), exactly like one big heap.
+    eng = Engine()
+    fired = []
+    for i, t in enumerate(times):
+        eng.schedule_at(t, lambda i=i: fired.append(i))
+    eng.run()
+    expected = [i for i, _ in sorted(enumerate(times), key=lambda p: p[1])]
+    assert fired == expected
+
+
+class _PickleProbe:
+    """Bound methods of module-level classes pickle; lambdas do not."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def hit(self):
+        self.calls += 1
+
+
+def test_engine_pickles_with_events_in_both_tiers():
+    eng = Engine()
+    probe = _PickleProbe()
+    eng.schedule_at(10, probe.hit)  # near ring
+    eng.schedule_at(NEAR_HORIZON_PS * 4, probe.hit)  # far heap
+    clone = pickle.loads(pickle.dumps(eng))
+    clone.run()
+    assert clone.events_processed == 2
+    assert clone.now == NEAR_HORIZON_PS * 4
+    # The original engine is untouched and still runs its own copies.
+    eng.run()
+    assert probe.calls == 2
+
+
 def test_profiler_hook_times_each_event():
     class Recorder:
         def __init__(self):
@@ -193,6 +335,31 @@ def test_profiler_hook_times_each_event():
     eng.run()
     assert len(eng.profiler.notes) == 2
     assert all(sec >= 0 for _, sec in eng.profiler.notes)
+
+
+def test_profiler_attributes_both_dispatch_tiers():
+    # EngineProfiler.note must see near-ring and far-heap callbacks alike:
+    # component attribution is a property of the callback, not of which
+    # tier dispatched it.
+    from repro.telemetry.profiler import EngineProfiler
+
+    class Component:
+        def __init__(self, eng):
+            self.eng = eng
+
+        def tick(self):
+            # Re-arm via the schedule_now fast path (the MC pump idiom).
+            if self.eng.events_processed < 3:
+                self.eng.schedule_now(self.tick)
+
+    eng = Engine()
+    eng.profiler = EngineProfiler()
+    comp = Component(eng)
+    eng.schedule_at(NEAR_HORIZON_PS * 4, comp.tick)  # far-heap dispatch
+    eng.run()
+    rows = {name: calls for name, calls, _sec in eng.profiler.rows()}
+    key = "test_profiler_attributes_both_dispatch_tiers"
+    assert rows == {key: 3}  # 1 far + 2 near, one component
 
 
 @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))

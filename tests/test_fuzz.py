@@ -35,6 +35,7 @@ from repro.fuzz.artifact import (
     trace_to_json,
 )
 from repro.fuzz.oracles import ORACLES
+from repro.mc.warp_sorter import WarpGroupEntry
 from repro.mc.wgbw import ORPHAN_LIMIT
 from repro.workloads.mutate import (
     MUTATORS,
@@ -238,9 +239,9 @@ def test_artifact_rejects_wrong_format(tmp_path):
 def test_oracle_catalogue_is_documented():
     assert set(ORACLES) >= {
         "invariants", "forwarding-consistency", "merb-gate-contract",
-        "load-latency-bounds", "differential-totals", "trace-equivalence",
-        "determinism", "telemetry-perturbation", "checkpoint-restore",
-        "timing-scale",
+        "load-latency-bounds", "scorer-differential", "differential-totals",
+        "trace-equivalence", "determinism", "telemetry-perturbation",
+        "checkpoint-restore", "timing-scale",
     }
     assert all(isinstance(doc, str) and doc for doc in ORACLES.values())
 
@@ -356,6 +357,48 @@ def test_fuzzer_catches_uncapped_merb_regression(tmp_path, monkeypatch):
     )
     assert replayed is not None and replayed.oracle == "merb-gate-contract"
 
+    monkeypatch.undo()
+    assert run_oracle(
+        artifact["oracle"], config, trace, artifact["schedulers"]
+    ) is None
+
+
+# ---------------------------------------------------------------------------
+# regression: incremental BASJF state drifting from the naive walk (PR 5)
+# ---------------------------------------------------------------------------
+def _buggy_entry_add(self, req):
+    """Corrupted maintenance: chain contributions are never folded in."""
+    bank = req.bank
+    reqs = self.by_bank.get(bank)
+    if reqs is None:
+        self.by_bank[bank] = [req]
+        self.bank_stats[bank] = [req.row, 0, 0]
+    else:
+        reqs.append(req)  # stats[1]/stats[2] silently go stale
+    self.n_requests += 1
+    self.received += 1
+
+
+def test_fuzzer_catches_incremental_scorer_drift(tmp_path, monkeypatch):
+    monkeypatch.setattr(WarpGroupEntry, "add", _buggy_entry_add)
+    report = run_campaign(
+        seed=0, iterations=3, schedulers=["wg"],
+        artifact_dir=str(tmp_path), do_minimize=False,
+    )
+    assert not report.clean
+    failure = report.failures[0]
+    assert failure.oracle == "scorer-differential"
+    assert failure.artifact_path and os.path.exists(failure.artifact_path)
+
+    artifact = load_artifact(failure.artifact_path)
+    config = config_from_dict(artifact["config"])
+    trace = trace_from_json(artifact["trace"])
+    replayed = run_oracle(
+        artifact["oracle"], config, trace, artifact["schedulers"]
+    )
+    assert replayed is not None and replayed.oracle == "scorer-differential"
+
+    # The healthy maintenance passes the same case.
     monkeypatch.undo()
     assert run_oracle(
         artifact["oracle"], config, trace, artifact["schedulers"]
