@@ -56,6 +56,30 @@ def scale() -> Scale:
     return _SCALE
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Append a figure-harness session record to the run history.
+
+    Each full run of the per-figure benchmark suite is one data point in
+    the dashboard's trajectory: which scale it asserted the paper's
+    shapes at, and whether everything held.  Skipped when the history is
+    disabled (``REPRO_HISTORY=0``) or the session collected nothing.
+    """
+    if not getattr(session, "testscollected", 0):
+        return
+    from repro.history import record_run
+
+    record_run(
+        "benchmarks",
+        {
+            "scale": _SCALE.name,
+            "workers": _WORKERS,
+            "tests_collected": session.testscollected,
+            "tests_failed": session.testsfailed,
+            "exit_status": int(exitstatus),
+        },
+    )
+
+
 def emit(result) -> None:
     """Print the regenerated table (visible with pytest -s)."""
     print()

@@ -23,6 +23,13 @@ Subcommands:
   wall time per scheduler, single channel), written as
   ``BENCH_core.json`` and optionally gated against a committed baseline
   (``--baseline``/``--check``) — see docs/performance.md;
+* ``accuracy``    — export the EXPERIMENTS.md paper-vs-measured table as
+  ``results/accuracy.json`` for the dashboard and external tooling;
+* ``history``     — inspect the append-only run-history store
+  (``list``/``show``/``diff``) — see docs/observability.md;
+* ``dashboard``   — render the self-contained static HTML dashboard
+  (perf trajectory, scheduler comparison, paper accuracy, fuzz stats)
+  from the run history;
 * ``list``        — available benchmarks and schedulers.
 """
 
@@ -437,6 +444,32 @@ def cmd_bench(args) -> int:
     )
 
     log = lambda msg: print(f"[bench] {msg}", file=sys.stderr)  # noqa: E731
+    # Preflight the baseline BEFORE measuring: a missing or malformed
+    # reference should fail in milliseconds with a fix, not after the
+    # full grid has burned minutes of CPU.
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_report(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"repro bench: error: baseline {args.baseline!r} does not "
+                "exist.\n  Regenerate it from the reference checkout with\n"
+                "    python -m repro bench --out "
+                f"{args.baseline}\n"
+                "  and commit the result (see docs/performance.md).",
+                file=sys.stderr,
+            )
+            return 2
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(
+                f"repro bench: error: baseline {args.baseline!r} is not a "
+                f"usable core bench report: {exc}\n  Regenerate it with "
+                f"`python -m repro bench --out {args.baseline}` and commit "
+                "the result (see docs/performance.md).",
+                file=sys.stderr,
+            )
+            return 2
     try:
         jobs = default_jobs(
             quick=args.quick,
@@ -454,13 +487,8 @@ def cmd_bench(args) -> int:
     if args.out:
         report.write(args.out)
         log(f"report -> {args.out}")
-    if args.baseline is None:
+    if baseline is None:
         return 0
-    try:
-        baseline = load_report(args.baseline)
-    except (OSError, ValueError, json.JSONDecodeError) as exc:
-        print(f"repro bench: error: cannot read baseline: {exc}", file=sys.stderr)
-        return 2
     lines, regressions = compare_reports(
         report.to_dict(), baseline, tolerance=args.tolerance
     )
@@ -477,6 +505,168 @@ def cmd_bench(args) -> int:
 def cmd_list(_args) -> int:
     print("benchmarks:", ", ".join(benchmark_names()))
     print("schedulers:", ", ".join(sorted(SCHEDULERS)))
+    return 0
+
+
+def cmd_accuracy(args) -> int:
+    from repro.analysis.experiments import write_accuracy
+
+    doc = write_accuracy(args.out)
+    pct = sum(1 for e in doc["entries"] if e["unit"] == "pct")
+    print(
+        f"[accuracy] {len(doc['entries'])} paper-vs-measured entries "
+        f"({pct} percent-unit) -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _history_store(args):
+    import os
+
+    from repro.history import default_store
+    from repro.history.store import HistoryStore
+
+    if getattr(args, "dir", None):
+        return HistoryStore(args.dir)
+    store = default_store()
+    if not os.path.isdir(store.root):
+        print(
+            f"repro history: note: {store.root} does not exist yet — "
+            "bench/sweep/fuzz runs create it (REPRO_HISTORY_DIR overrides)",
+            file=sys.stderr,
+        )
+    return store
+
+
+def _history_summary(record) -> str:
+    p = record.payload if isinstance(record.payload, dict) else {}
+    if record.kind == "bench":
+        return (
+            f"{p.get('jobs_total', '?')} jobs, "
+            f"{float(p.get('events_per_sec') or 0) / 1000.0:.0f}k events/s"
+        )
+    if record.kind == "sweep":
+        return (
+            f"{p.get('jobs_total', '?')} jobs "
+            f"({p.get('jobs_failed', 0)} failed), scale {p.get('scale', '?')}"
+        )
+    if record.kind == "fuzz":
+        state = "clean" if p.get("clean") else f"{len(p.get('failures') or [])} failed"
+        return f"{p.get('cases_run', '?')} cases, {state}"
+    if record.kind == "accuracy":
+        return f"{len(p.get('entries') or [])} entries"
+    if record.kind == "benchmarks":
+        return (
+            f"{p.get('tests_collected', '?')} tests at {p.get('scale', '?')}, "
+            f"{p.get('tests_failed', 0)} failed"
+        )
+    return f"{len(p)} payload keys"
+
+
+def cmd_history(args) -> int:
+    store = _history_store(args)
+
+    if args.action == "list":
+        records = store.records(args.kind, limit=args.limit)
+        if not records:
+            print("[history] no records", file=sys.stderr)
+            return 0
+        rows = [
+            [r.record_id, r.created_utc,
+             r.git_sha[:9] if r.git_sha != "unknown" else "-",
+             f"{r.calibration_ops_per_sec / 1e6:.1f}M",
+             _history_summary(r) + (" [INVALID]" if r.problems else "")]
+            for r in records
+        ]
+        print(format_table(
+            ["record", "created (UTC)", "git", "calib", "summary"], rows,
+            title=f"run history ({store.root})",
+        ))
+        return 0
+
+    if args.action == "show":
+        record = store.get(args.record_id)
+        if record is None:
+            print(
+                f"repro history: error: no record {args.record_id!r} in "
+                f"{store.root} (try `repro history list`)",
+                file=sys.stderr,
+            )
+            return 2
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        if record.problems:
+            print(
+                f"[history] provenance problems: {'; '.join(record.problems)}",
+                file=sys.stderr,
+            )
+        return 0
+
+    # diff OLD NEW
+    old, new = store.get(args.record_a), store.get(args.record_b)
+    missing = [
+        rid for rid, r in ((args.record_a, old), (args.record_b, new))
+        if r is None
+    ]
+    if missing:
+        print(
+            f"repro history: error: no record {', '.join(map(repr, missing))} "
+            f"in {store.root} (try `repro history list`)",
+            file=sys.stderr,
+        )
+        return 2
+    if old.kind == new.kind == "bench":
+        from repro.analysis.bench import compare_reports
+
+        lines, regressions = compare_reports(new.payload, old.payload)
+        for line in lines:
+            print(line)
+        for msg in regressions:
+            print(f"REGRESSION: {msg}")
+        return 1 if regressions else 0
+    if old.kind != new.kind:
+        print(
+            f"repro history: error: cannot diff {old.kind!r} against "
+            f"{new.kind!r} records",
+            file=sys.stderr,
+        )
+        return 2
+    # Generic kinds: shallow scalar payload diff.
+    keys = sorted(set(old.payload) | set(new.payload))
+    for key in keys:
+        a, b = old.payload.get(key), new.payload.get(key)
+        if isinstance(a, (dict, list)) or isinstance(b, (dict, list)):
+            if a != b:
+                print(f"{key}: differs (structured; see `history show`)")
+        elif a != b:
+            print(f"{key}: {a} -> {b}")
+    return 0
+
+
+def cmd_dashboard(args) -> int:
+    from repro.dashboard import build_dashboard
+    from repro.history import DEFAULT_HISTORY_DIR
+    import os
+
+    history_dir = args.history_dir or os.environ.get(
+        "REPRO_HISTORY_DIR", DEFAULT_HISTORY_DIR
+    )
+    build = build_dashboard(
+        history_dir, args.out, accuracy_path=args.accuracy
+    )
+    print(build.summary(), file=sys.stderr)
+    if args.check and not build.ok:
+        print(
+            "repro dashboard: error: build is hollow (see PROBLEM lines); "
+            "run `python -m repro bench` / `python -m repro accuracy` to "
+            "populate the history",
+            file=sys.stderr,
+        )
+        return 1
+    if args.open:
+        import webbrowser
+
+        webbrowser.open(f"file://{os.path.abspath(build.index_path)}")
     return 0
 
 
@@ -662,6 +852,53 @@ def main(argv: list[str] | None = None) -> int:
     p_b.add_argument("--tolerance", type=float, default=0.15,
                      help="allowed fractional regression (default 0.15)")
     p_b.set_defaults(fn=cmd_bench)
+
+    p_acc = sub.add_parser(
+        "accuracy",
+        help="export EXPERIMENTS.md paper-vs-measured numbers as JSON",
+    )
+    p_acc.add_argument("--out", default="results/accuracy.json", metavar="PATH",
+                       help="export path (default results/accuracy.json)")
+    p_acc.set_defaults(fn=cmd_accuracy)
+
+    p_h = sub.add_parser(
+        "history", help="inspect the run-history store (docs/observability.md)"
+    )
+    p_h.add_argument("--dir", default=None, metavar="DIR",
+                     help="history directory (default results/history or "
+                          "$REPRO_HISTORY_DIR)")
+    h_sub = p_h.add_subparsers(dest="action", required=True)
+    h_list = h_sub.add_parser("list", help="tabulate stored records")
+    h_list.add_argument("--kind", default=None,
+                        help="only one record kind (bench, sweep, fuzz, ...)")
+    h_list.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="newest N records only")
+    h_show = h_sub.add_parser("show", help="print one record as JSON")
+    h_show.add_argument("record_id", metavar="RECORD",
+                        help="record id, e.g. bench-0003")
+    h_diff = h_sub.add_parser(
+        "diff", help="compare two records (bench: normalized throughput)"
+    )
+    h_diff.add_argument("record_a", metavar="OLD")
+    h_diff.add_argument("record_b", metavar="NEW")
+    p_h.set_defaults(fn=cmd_history)
+
+    p_d = sub.add_parser(
+        "dashboard",
+        help="build the static HTML dashboard from the run history",
+    )
+    p_d.add_argument("--out", default="dashboard", metavar="DIR",
+                     help="output directory (default dashboard/)")
+    p_d.add_argument("--history-dir", default=None, metavar="DIR",
+                     help="history to render (default results/history or "
+                          "$REPRO_HISTORY_DIR)")
+    p_d.add_argument("--accuracy", default=None, metavar="PATH",
+                     help="accuracy export (default <history>/../accuracy.json)")
+    p_d.add_argument("--check", action="store_true",
+                     help="exit 1 when a required figure has no data")
+    p_d.add_argument("--open", action="store_true",
+                     help="open the built page in a browser")
+    p_d.set_defaults(fn=cmd_dashboard)
 
     p_list = sub.add_parser("list", help="available benchmarks and schedulers")
     p_list.set_defaults(fn=cmd_list)

@@ -2,7 +2,7 @@
 
 Measures raw simulator throughput — engine events per wall-clock second
 and wall time — per scheduler on a fixed single-channel workload at TINY
-and SMALL scale.  This is the harness behind the repo's performance
+and QUICK scale.  This is the harness behind the repo's performance
 trajectory: ``results/BENCH_core_baseline.json`` pins the pre-optimization
 numbers, ``results/BENCH_core.json`` the current ones, and the CI
 ``perf-smoke`` job fails when throughput regresses against the committed
@@ -38,7 +38,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Optional, Sequence
 
-from repro.analysis.runner import atomic_write_json
+from repro.analysis.runner import atomic_write_json, config_hash
+from repro.analysis.schema import BENCH_SCHEMA
 from repro.core.config import SimConfig
 from repro.gpu.system import GPUSystem
 from repro.workloads.suite import Scale, build_benchmark
@@ -53,8 +54,6 @@ __all__ = [
     "load_report",
     "run_bench",
 ]
-
-BENCH_SCHEMA = 1
 
 #: Canonical bench workload: irregular, divergent, exercises the warp
 #: sorter, MERB gate and write drain — the paths this bench exists to time.
@@ -215,7 +214,7 @@ def default_jobs(
     if schedulers is None:
         schedulers = QUICK_SCHEDULERS if quick else sorted(SCHEDULERS)
     if scales is None:
-        scales = ("TINY",) if quick else ("TINY", "SMALL")
+        scales = ("TINY",) if quick else ("TINY", "QUICK")
     if repeats is None:
         repeats = 2 if quick else 3
     return [
@@ -257,8 +256,15 @@ def _measure(job: BenchJob) -> JobMeasurement:
 def run_bench(
     jobs: Sequence[BenchJob],
     progress: Optional[Callable[[str], None]] = None,
+    history: bool = True,
 ) -> BenchReport:
-    """Measure every job and return the aggregate report."""
+    """Measure every job and return the aggregate report.
+
+    By default the finished report is also appended to the run-history
+    store (docs/observability.md) so the dashboard's perf trajectory
+    tracks every bench invocation; ``history=False`` (or
+    ``REPRO_HISTORY=0``) skips ingestion.
+    """
     say = progress or (lambda _msg: None)
     t0 = perf_counter()
     say("calibrating interpreter speed...")
@@ -272,11 +278,25 @@ def run_bench(
             f"{m.events_per_sec / 1000.0:.1f}k events/s "
             f"({m.sim_events} events, best {m.sim_wall_s:.3f}s)"
         )
-    return BenchReport(
+    report = BenchReport(
         jobs=measurements,
         calibration_ops_per_sec=cal,
         wall_s=perf_counter() - t0,
     )
+    if history:
+        from repro.history import record_run
+
+        # The grid spans schedulers, so the stamped hash identifies the
+        # shared single-channel base config (scheduler field excluded by
+        # convention: use the gmc member as the representative).
+        record = record_run(
+            "bench",
+            report.to_dict(),
+            config_hash=config_hash(_bench_config("gmc")),
+        )
+        if record is not None:
+            say(f"history record {record.record_id} appended")
+    return report
 
 
 # ----------------------------------------------------------------------

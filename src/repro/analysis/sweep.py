@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.analysis.runner import ExperimentRunner, atomic_write_json, run_one_job
+from repro.analysis.schema import SWEEP_SCHEMA
 
 __all__ = [
     "JobResult",
@@ -51,7 +52,6 @@ __all__ = [
 
 MANIFEST_NAME = "sweep-manifest.json"
 _MANIFEST_SCHEMA = 1
-_BENCH_SCHEMA = 1
 _POLL_S = 0.25  # wait() tick while enforcing per-job timeouts
 
 
@@ -181,7 +181,7 @@ class SweepReport:
 
     def to_dict(self) -> dict:
         return {
-            "schema_version": _BENCH_SCHEMA,
+            "schema_version": SWEEP_SCHEMA,
             "scale": self.scale,
             "kind": self.kind,
             "config_hash": self.config_hash,
@@ -261,12 +261,17 @@ def run_sweep(
     resume: bool = False,
     progress: Optional[Callable[[str], None]] = None,
     manifest_name: str = MANIFEST_NAME,
+    history: bool = True,
 ) -> SweepReport:
     """Run the (benchmark x scheduler x seed) grid; returns a report.
 
     ``workers <= 0`` executes inline (no processes) — same retry/manifest
     semantics, useful under pytest and for debugging.  Jobs communicate
     exclusively through the runner's ``cache_dir``, which is required.
+
+    The finished report is appended to the run-history store by default
+    (docs/observability.md); ``history=False`` or ``REPRO_HISTORY=0``
+    skips ingestion.
     """
     if runner.cache_dir is None:
         raise ValueError("a parallel sweep requires a cache_dir")
@@ -394,6 +399,14 @@ def run_sweep(
         wall_s=time.time() - t0,
     )
     say(report.format())
+    if history:
+        from repro.history import record_run
+
+        record = record_run(
+            "sweep", report.to_dict(), config_hash=runner.config_hash
+        )
+        if record is not None:
+            say(f"[sweep] history record {record.record_id} appended")
     return report
 
 

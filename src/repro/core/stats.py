@@ -342,7 +342,9 @@ class SimStats:
     def metrics_dict(self) -> dict:
         """Machine-readable bundle: summary + interval time-series.
 
-        Schema (stable; version bumps on breaking changes)::
+        Schema (stable; the version constant is
+        ``repro.analysis.schema.METRICS_SCHEMA`` and bumps on breaking
+        changes)::
 
             {"schema_version": 1,
              "summary": {...},                # exactly summary()
@@ -351,8 +353,12 @@ class SimStats:
              "interval_period_ps": int,
              "intervals": [{...}, ...]}       # IntervalSampler.SCHEMA_KEYS
         """
+        # Imported lazily: repro.core must not import repro.analysis at
+        # module load (analysis builds on core).
+        from repro.analysis.schema import METRICS_SCHEMA
+
         return {
-            "schema_version": 1,
+            "schema_version": METRICS_SCHEMA,
             "summary": self.summary(),
             "events_processed": self.events_processed,
             "wall_seconds": self.wall_seconds,

@@ -1,0 +1,20 @@
+"""Static HTML dashboard over the run history (docs/observability.md).
+
+Pure-Python SVG rendering — no matplotlib, no JavaScript, no network —
+so ``python -m repro dashboard`` works in any environment that can run
+the simulator, and the emitted ``index.html`` is a single portable file.
+"""
+
+from repro.dashboard.build import (
+    REQUIRED_FIGURES,
+    DashboardBuild,
+    build_dashboard,
+)
+from repro.dashboard.svg import Figure
+
+__all__ = [
+    "DashboardBuild",
+    "Figure",
+    "REQUIRED_FIGURES",
+    "build_dashboard",
+]

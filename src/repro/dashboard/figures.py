@@ -1,0 +1,376 @@
+"""Figure recipes: history records + accuracy export -> dashboard views.
+
+Each recipe is a pure function from already-loaded data to a
+:class:`repro.dashboard.svg.Figure`; it never touches the filesystem, so
+the test suite can drive every recipe from a tiny fixture history.  A
+recipe with nothing to show returns an *empty* figure carrying the
+reason (the build layer decides which empty figures fail ``--check``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dashboard.svg import (
+    CATEGORICAL_SLOTS,
+    Figure,
+    data_table,
+    grouped_hbar_svg,
+    legend_html,
+    line_chart_svg,
+)
+
+__all__ = [
+    "accuracy_figure",
+    "fuzz_figure",
+    "scheduler_matrix_figure",
+    "trajectory_figure",
+]
+
+#: Preferred trajectory series order (the paper's presentation set first).
+_SCHED_ORDER = ("gmc", "wg", "wg-m", "wg-bw", "wg-w")
+
+
+def _short_sha(sha: str) -> str:
+    return sha[:7] if sha and sha != "unknown" else "-"
+
+
+def _sched_throughput(
+    payload: dict, scheduler: str, scale: Optional[str]
+) -> Optional[float]:
+    """Mean events/sec for one scheduler (one scale, or all) in a report."""
+    vals = [
+        float(j.get("events_per_sec") or 0.0)
+        for j in payload.get("jobs", ())
+        if j.get("scheduler") == scheduler
+        and (scale is None or j.get("scale") == scale)
+        and j.get("events_per_sec")
+    ]
+    return sum(vals) / len(vals) if vals else None
+
+
+def _record_calibration(record) -> float:
+    payload_cal = 0.0
+    if isinstance(record.payload, dict):
+        payload_cal = float(
+            record.payload.get("calibration_ops_per_sec") or 0.0
+        )
+    return payload_cal or record.calibration_ops_per_sec or 0.0
+
+
+# ----------------------------------------------------------------------
+# 1. perf trajectory
+# ----------------------------------------------------------------------
+def trajectory_figure(bench_records: Sequence) -> Figure:
+    """Normalized core throughput per scheduler across bench runs.
+
+    One x position per history record (oldest -> newest); y is
+    ``events_per_sec / calibration_ops_per_sec * 1000`` — events
+    simulated per thousand calibration ops, so runs from machines of
+    different speed sit on one comparable axis.
+    """
+    fig = Figure(
+        figure_id="trajectory",
+        title="Performance trajectory",
+        subtitle=(
+            "Core bench throughput per scheduler, normalized by the "
+            "host calibration loop (events per 1k calibration ops; "
+            "higher is faster)"
+        ),
+    )
+    records = [
+        r for r in bench_records
+        if isinstance(r.payload, dict) and r.payload.get("jobs")
+    ]
+    if not records:
+        fig.empty = True
+        fig.empty_reason = (
+            "no bench records in the history — run `python -m repro bench`"
+        )
+        return fig
+
+    # Fixed series assignment: presentation set first, then whatever
+    # else the records measured, folded past the palette's 8 slots.
+    present: list[str] = []
+    for r in records:
+        for j in r.payload.get("jobs", ()):
+            s = j.get("scheduler")
+            if s and s not in present:
+                present.append(s)
+    ordered = [s for s in _SCHED_ORDER if s in present] + sorted(
+        s for s in present if s not in _SCHED_ORDER
+    )
+    folded = ordered[len(CATEGORICAL_SLOTS):]
+    schedulers = ordered[: len(CATEGORICAL_SLOTS)]
+    # Compare at the scale every record has (TINY is always measured).
+    scale = "TINY" if any(
+        j.get("scale") == "TINY"
+        for r in records for j in r.payload.get("jobs", ())
+    ) else None
+
+    x_labels, series, tooltips = [], {s: [] for s in schedulers}, {
+        s: [] for s in schedulers
+    }
+    for r in records:
+        x_labels.append(f"#{r.record_id.rpartition('-')[2]}")
+        cal = _record_calibration(r)
+        for s in schedulers:
+            eps = _sched_throughput(r.payload, s, scale)
+            norm = (eps / cal * 1000.0) if (eps and cal > 0) else None
+            series[s].append(round(norm, 2) if norm is not None else None)
+            tooltips[s].append(
+                f"{s} · {r.record_id} ({_short_sha(r.git_sha)}, "
+                f"{r.created_utc}): "
+                + (
+                    f"{norm:.1f} events/1k cal-ops "
+                    f"({eps / 1000.0:.1f}k events/s raw)"
+                    if norm is not None
+                    else "not measured"
+                )
+            )
+
+    fig.svg = line_chart_svg(
+        series, x_labels,
+        y_label="events / 1k calibration ops",
+        tooltips=tooltips,
+    )
+    if len(series) >= 2:
+        fig.legend_html = legend_html(list(series))
+    rows = []
+    for i, r in enumerate(records):
+        rows.append(
+            [r.record_id, r.created_utc, _short_sha(r.git_sha),
+             f"{_record_calibration(r) / 1e6:.1f}M"]
+            + [
+                "-" if series[s][i] is None else f"{series[s][i]:.1f}"
+                for s in schedulers
+            ]
+        )
+    fig.table_html = data_table(
+        ["record", "created (UTC)", "git", "calibration"] + list(schedulers),
+        rows,
+    )
+    notes = [f"comparison scale: {scale or 'all scales pooled'}"]
+    if folded:
+        notes.append(
+            "not plotted (palette holds 8 series): " + ", ".join(folded)
+            + " — see the scheduler comparison below"
+        )
+    fig.note = "; ".join(notes)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# 2. scheduler comparison matrix
+# ----------------------------------------------------------------------
+def scheduler_matrix_figure(bench_record) -> Figure:
+    """Latest bench report as a scheduler x scale throughput matrix."""
+    fig = Figure(
+        figure_id="schedulers",
+        title="Scheduler comparison",
+        subtitle=(
+            "Raw core-bench throughput per scheduler from the latest "
+            "bench record (thousand events/s; best-of-repeats)"
+        ),
+    )
+    payload = bench_record.payload if bench_record else None
+    if not (isinstance(payload, dict) and payload.get("jobs")):
+        fig.empty = True
+        fig.empty_reason = (
+            "no bench records in the history — run `python -m repro bench`"
+        )
+        return fig
+
+    scales = sorted(
+        {j.get("scale") for j in payload["jobs"] if j.get("scale")},
+        key=lambda s: ("TINY", "SMALL", "QUICK", "PAPER").index(s)
+        if s in ("TINY", "SMALL", "QUICK", "PAPER") else 99,
+    )
+    schedulers = sorted(
+        {j.get("scheduler") for j in payload["jobs"] if j.get("scheduler")},
+        key=lambda s: -(
+            _sched_throughput(payload, s, scales[0]) or 0.0
+        ),
+    )
+    series: dict[str, list[Optional[float]]] = {}
+    tooltips: dict[str, list[str]] = {}
+    for scale in scales:
+        vals, tips = [], []
+        for s in schedulers:
+            eps = _sched_throughput(payload, s, scale)
+            vals.append(round(eps / 1000.0, 1) if eps else None)
+            wall = [
+                j.get("sim_wall_s") for j in payload["jobs"]
+                if j.get("scheduler") == s and j.get("scale") == scale
+            ]
+            tips.append(
+                f"{s} @ {scale}: "
+                + (
+                    f"{eps / 1000.0:.1f}k events/s "
+                    f"(best {wall[0]}s)" if eps else "not measured"
+                )
+            )
+        series[scale] = vals
+        tooltips[scale] = tips
+
+    fig.svg = grouped_hbar_svg(
+        schedulers, series, value_label="k events/s", tooltips=tooltips
+    )
+    if len(series) >= 2:
+        fig.legend_html = legend_html(list(series))
+    fig.table_html = data_table(
+        ["scheduler"] + [f"{sc} (k events/s)" for sc in scales],
+        [
+            [s] + [
+                "-" if series[sc][i] is None else series[sc][i]
+                for sc in scales
+            ]
+            for i, s in enumerate(schedulers)
+        ],
+    )
+    fig.note = (
+        f"record {bench_record.record_id} "
+        f"({_short_sha(bench_record.git_sha)}, {bench_record.created_utc}); "
+        "sorted by first-scale throughput"
+    )
+    return fig
+
+
+# ----------------------------------------------------------------------
+# 3. paper-vs-measured accuracy
+# ----------------------------------------------------------------------
+def accuracy_figure(accuracy: Optional[dict]) -> Figure:
+    """Paper value vs this repo's measured value per EXPERIMENTS.md entry.
+
+    Percent-unit entries are charted (as magnitudes, tip labels keep the
+    sign); entries in other units — ratios, multipliers, counts — live
+    in the table, where mixed units cannot silently share an axis.
+    """
+    fig = Figure(
+        figure_id="accuracy",
+        title="Paper vs measured",
+        subtitle=(
+            "EXPERIMENTS.md headline numbers: the paper's reported "
+            "value against this simulator's measurement"
+        ),
+    )
+    entries = (accuracy or {}).get("entries") or []
+    if not entries:
+        fig.empty = True
+        fig.empty_reason = (
+            "results/accuracy.json missing or empty — run "
+            "`python -m repro accuracy`"
+        )
+        return fig
+
+    pct = [e for e in entries if e.get("unit") == "pct"]
+    if pct:
+        labels = [f"{e['figure']} · {e['metric']}" for e in pct]
+        series = {
+            "paper": [abs(float(e["paper"])) for e in pct],
+            "measured": [abs(float(e["measured"])) for e in pct],
+        }
+        sign = lambda v: f"{float(v):+.1f}"  # noqa: E731
+        value_texts = {
+            "paper": [sign(e["paper"]) for e in pct],
+            "measured": [sign(e["measured"]) for e in pct],
+        }
+        tooltips = {
+            key: [
+                f"{e['figure']} {e['metric']} — {key}: "
+                f"{sign(e[key])}% (delta {float(e['delta']):+.1f})"
+                for e in pct
+            ]
+            for key in ("paper", "measured")
+        }
+        fig.svg = grouped_hbar_svg(
+            labels, series,
+            value_label="% (magnitude)",
+            tooltips=tooltips,
+            value_texts=value_texts,
+            label_width=290,
+        )
+        fig.legend_html = legend_html(["paper", "measured"])
+    fig.table_html = data_table(
+        ["figure", "metric", "unit", "paper", "measured", "delta"],
+        [
+            [e.get("figure"), e.get("metric"), e.get("unit"),
+             e.get("paper_text", e.get("paper")),
+             e.get("measured_text", e.get("measured")),
+             f"{float(e.get('delta', 0.0)):+.2f}"]
+            for e in entries
+        ],
+    )
+    non_pct = len(entries) - len(pct)
+    if non_pct:
+        fig.note = (
+            f"{non_pct} non-percent entr{'y' if non_pct == 1 else 'ies'} "
+            "(ratios/multipliers/counts) are table-only — mixed units "
+            "never share an axis"
+        )
+    return fig
+
+
+# ----------------------------------------------------------------------
+# 4. fuzz / guardrail campaigns
+# ----------------------------------------------------------------------
+def fuzz_figure(fuzz_records: Sequence) -> Figure:
+    """Differential-fuzz campaign sizes and outcomes over time."""
+    fig = Figure(
+        figure_id="fuzz",
+        title="Fuzz campaigns",
+        subtitle=(
+            "Differential/metamorphic fuzzer runs from the history: "
+            "cases executed per campaign and whether every oracle held"
+        ),
+    )
+    records = [r for r in fuzz_records if isinstance(r.payload, dict)]
+    if not records:
+        fig.empty = True
+        fig.empty_reason = (
+            "no fuzz records in the history — run `python -m repro fuzz`"
+        )
+        return fig
+
+    labels, vals, texts, tips, rows = [], [], [], [], []
+    for r in records:
+        p = r.payload
+        cases = int(p.get("cases_run") or 0)
+        fails = p.get("failures") or []
+        clean = bool(p.get("clean", not fails))
+        labels.append(f"#{r.record_id.rpartition('-')[2]}")
+        vals.append(cases)
+        status = "✓ clean" if clean else f"✗ {len(fails)} failed"
+        texts.append(f"{cases} · {status}")
+        tips.append(
+            f"{r.record_id} ({_short_sha(r.git_sha)}, {r.created_utc}): "
+            f"{cases} cases at {p.get('cases_per_sec', '?')}/s, {status}"
+        )
+        rows.append(
+            [r.record_id, r.created_utc, _short_sha(r.git_sha), cases,
+             p.get("cases_per_sec", "-"),
+             ", ".join(str(s) for s in p.get("schedulers", ())[:4])
+             + ("…" if len(p.get("schedulers", ())) > 4 else ""),
+             status]
+        )
+
+    fig.svg = grouped_hbar_svg(
+        labels, {"cases": vals},
+        value_label="cases run",
+        tooltips={"cases": tips},
+        value_texts={"cases": texts},
+    )
+    fig.table_html = data_table(
+        ["record", "created (UTC)", "git", "cases", "cases/s",
+         "schedulers", "outcome"],
+        rows,
+    )
+    total_fail = sum(
+        len(r.payload.get("failures") or []) for r in records
+    )
+    if total_fail:
+        fig.note = (
+            f"✗ {total_fail} oracle failure(s) across "
+            f"{len(records)} campaign(s) — artifacts under results/fuzz/"
+        )
+    return fig

@@ -1,0 +1,480 @@
+"""Dependency-free SVG chart primitives for the static dashboard.
+
+Every chart is inline SVG written against CSS custom properties (the
+role tokens in :data:`STYLE`), so one stylesheet swaps the whole page
+between light and dark via ``prefers-color-scheme`` — no JavaScript, no
+network access, nothing external.
+
+Design rules baked in (they are not options):
+
+* categorical series colors come from a fixed 8-slot palette, assigned
+  in order and never cycled — callers with more than 8 series must fold
+  the tail into the table view;
+* marks are thin: 2px lines with round caps, bars ≤ 24px with a 4px
+  rounded *data* end (square at the baseline), ≥ 8px markers with a 2px
+  surface ring;
+* gridlines are solid hairlines in a one-step-off-surface gray; axis
+  text is muted ink; values and labels never wear a series color;
+* one value axis per chart, a legend whenever there are ≥ 2 series, and
+  selective direct labels (line ends, bar tips) — never every point;
+* every mark carries a native ``<title>`` tooltip, and every figure is
+  paired with an HTML table view of the same numbers
+  (:func:`data_table`), so nothing is color- or hover-gated.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = [
+    "CATEGORICAL_SLOTS",
+    "Figure",
+    "STYLE",
+    "data_table",
+    "grouped_hbar_svg",
+    "line_chart_svg",
+    "stat_tiles",
+]
+
+#: Fixed categorical assignment (light, dark) — the validated reference
+#: palette; order is the CVD-safety mechanism, never reshuffle or cycle.
+CATEGORICAL_SLOTS: tuple[tuple[str, str], ...] = (
+    ("#2a78d6", "#3987e5"),  # blue
+    ("#eb6834", "#d95926"),  # orange
+    ("#1baf7a", "#199e70"),  # aqua
+    ("#eda100", "#c98500"),  # yellow
+    ("#e87ba4", "#d55181"),  # magenta
+    ("#008300", "#008300"),  # green
+    ("#4a3aa7", "#9085e9"),  # violet
+    ("#e34948", "#e66767"),  # red
+)
+
+#: Page stylesheet: role tokens (surface/ink/grid/series) in light and
+#: dark, plus the small amount of layout chrome the dashboard needs.
+STYLE = """
+:root {
+  color-scheme: light;
+  --page:      #f9f9f7;  --surface-1: #fcfcfb;
+  --ink-1:     #0b0b0b;  --ink-2:     #52514e;  --ink-3: #898781;
+  --grid:      #e1e0d9;  --baseline:  #c3c2b7;
+  --border:    rgba(11,11,11,0.10);
+  --critical:  #d03b3b;  --good-text: #006300;
+%LIGHT_SERIES%
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --page:      #0d0d0d;  --surface-1: #1a1a19;
+    --ink-1:     #ffffff;  --ink-2:     #c3c2b7;  --ink-3: #898781;
+    --grid:      #2c2c2a;  --baseline:  #383835;
+    --border:    rgba(255,255,255,0.10);
+    --critical:  #d03b3b;  --good-text: #0ca30c;
+%DARK_SERIES%
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink-1);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; line-height: 1.45;
+}
+main { max-width: 880px; margin: 0 auto; }
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 0 0 2px; }
+p.sub { color: var(--ink-2); margin: 0 0 12px; }
+p.meta { color: var(--ink-3); font-size: 12px; margin: 2px 0 20px; }
+section.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 18px 20px 14px; margin: 0 0 18px;
+}
+svg.chart { display: block; width: 100%; height: auto; }
+svg.chart text { font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }
+.tick  { fill: var(--ink-3); font-size: 11px; font-variant-numeric: tabular-nums; }
+.label { fill: var(--ink-2); font-size: 11px; }
+.value { fill: var(--ink-2); font-size: 11px; font-variant-numeric: tabular-nums; }
+.gridline { stroke: var(--grid); stroke-width: 1; }
+.axisline { stroke: var(--baseline); stroke-width: 1; }
+.legend { display: flex; flex-wrap: wrap; gap: 4px 16px;
+          margin: 6px 0 2px; color: var(--ink-2); font-size: 12px; }
+.legend .key { display: inline-flex; align-items: center; gap: 6px; }
+.legend .swatch { width: 10px; height: 10px; border-radius: 3px; display: inline-block; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 0 0 18px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 12px 16px; min-width: 150px; flex: 1;
+}
+.tile .tlabel { color: var(--ink-2); font-size: 12px; }
+.tile .tvalue { font-size: 26px; font-weight: 600; margin-top: 2px; }
+.tile .tnote  { color: var(--ink-3); font-size: 11px; margin-top: 2px; }
+.tile .bad    { color: var(--critical); font-weight: 600; }
+.tile .ok     { color: var(--good-text); font-weight: 600; }
+details.tableview { margin: 8px 0 2px; }
+details.tableview summary { color: var(--ink-3); font-size: 12px; cursor: pointer; }
+table.data { border-collapse: collapse; margin-top: 8px; font-size: 12px; width: 100%; }
+table.data th { text-align: left; color: var(--ink-2); font-weight: 600; }
+table.data td { font-variant-numeric: tabular-nums; color: var(--ink-2); }
+table.data th, table.data td {
+  padding: 4px 10px 4px 0; border-bottom: 1px solid var(--grid);
+}
+p.empty { color: var(--ink-3); font-style: italic; }
+p.note { color: var(--ink-3); font-size: 12px; margin: 6px 0 0; }
+footer { color: var(--ink-3); font-size: 12px; margin-top: 10px; }
+footer a, a { color: inherit; }
+""".replace(
+    "%LIGHT_SERIES%",
+    "\n".join(
+        f"  --series-{i + 1}: {light};"
+        for i, (light, _dark) in enumerate(CATEGORICAL_SLOTS)
+    ),
+).replace(
+    "%DARK_SERIES%",
+    "\n".join(
+        f"    --series-{i + 1}: {dark};"
+        for i, (_light, dark) in enumerate(CATEGORICAL_SLOTS)
+    ),
+)
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def series_var(slot: int) -> str:
+    """CSS variable reference for categorical slot ``slot`` (0-based)."""
+    if not 0 <= slot < len(CATEGORICAL_SLOTS):
+        raise ValueError(
+            f"categorical slot {slot} out of range: the palette has "
+            f"{len(CATEGORICAL_SLOTS)} fixed slots and is never cycled"
+        )
+    return f"var(--series-{slot + 1})"
+
+
+@dataclass
+class Figure:
+    """One dashboard view: chart + legend + table view + provenance note."""
+
+    figure_id: str
+    title: str
+    subtitle: str = ""
+    svg: str = ""
+    legend_html: str = ""
+    table_html: str = ""
+    note: str = ""
+    empty: bool = False
+    empty_reason: str = ""
+
+    def to_html(self) -> str:
+        parts = [f'<section class="card" id="{_esc(self.figure_id)}">']
+        parts.append(f"<h2>{_esc(self.title)}</h2>")
+        if self.subtitle:
+            parts.append(f'<p class="sub">{_esc(self.subtitle)}</p>')
+        if self.empty:
+            parts.append(
+                f'<p class="empty">no data: {_esc(self.empty_reason)}</p>'
+            )
+        else:
+            parts.append(self.legend_html)
+            parts.append(self.svg)
+            if self.table_html:
+                parts.append(
+                    '<details class="tableview"><summary>table view</summary>'
+                    f"{self.table_html}</details>"
+                )
+        if self.note:
+            parts.append(f'<p class="note">{_esc(self.note)}</p>')
+        parts.append("</section>")
+        return "\n".join(p for p in parts if p)
+
+
+# ----------------------------------------------------------------------
+# shared scale helpers
+# ----------------------------------------------------------------------
+def nice_ticks(vmax: float, n: int = 4) -> list[float]:
+    """~n clean ticks from 0 to >= vmax (1/2/2.5/5 x power of ten)."""
+    if vmax <= 0:
+        return [0.0, 1.0]
+    raw = vmax / n
+    mag = 10.0 ** len(str(int(raw))) / 10.0 if raw >= 1 else 1.0
+    while mag > raw:
+        mag /= 10.0
+    step = next(
+        m * mag for m in (1.0, 2.0, 2.5, 5.0, 10.0) if m * mag >= raw
+    )
+    ticks = [0.0]
+    t = 0.0
+    while t < vmax - 1e-9:  # always cover vmax: last tick >= top of data
+        t += step
+        ticks.append(round(t, 10))
+    return ticks
+
+
+def fmt_num(v: float) -> str:
+    """Compact numeric label: 1,284 / 12.9k / 4.2M / 0.013."""
+    a = abs(v)
+    if a >= 1e6:
+        return f"{v / 1e6:.1f}M"
+    if a >= 1e4:
+        return f"{v / 1e3:.1f}k"
+    if a >= 1000:
+        return f"{v:,.0f}"
+    if a >= 100:
+        return f"{v:.0f}"
+    if a >= 1:
+        return f"{v:.2f}".rstrip("0").rstrip(".")
+    if a == 0:
+        return "0"
+    return f"{v:.3g}"
+
+
+def legend_html(names: Sequence[str]) -> str:
+    """Legend row (only rendered by callers with >= 2 series)."""
+    keys = []
+    for i, name in enumerate(names):
+        keys.append(
+            '<span class="key"><span class="swatch" '
+            f'style="background:{series_var(i)}"></span>{_esc(name)}</span>'
+        )
+    return f'<div class="legend">{"".join(keys)}</div>'
+
+
+def data_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """The figure's table view (same numbers as the marks)."""
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return (
+        f'<table class="data"><thead><tr>{head}</tr></thead>'
+        f"<tbody>{body}</tbody></table>"
+    )
+
+
+def stat_tiles(tiles: Sequence[dict]) -> str:
+    """A row of stat tiles: {label, value, note?, tone?: ok|bad}."""
+    out = ['<div class="tiles">']
+    for t in tiles:
+        tone = t.get("tone")
+        value_cls = f"tvalue {tone}" if tone in ("ok", "bad") else "tvalue"
+        out.append('<div class="tile">')
+        out.append(f'<div class="tlabel">{_esc(t["label"])}</div>')
+        out.append(f'<div class="{value_cls}">{_esc(t["value"])}</div>')
+        if t.get("note"):
+            out.append(f'<div class="tnote">{_esc(t["note"])}</div>')
+        out.append("</div>")
+    out.append("</div>")
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# line chart (trajectories)
+# ----------------------------------------------------------------------
+def line_chart_svg(
+    series: dict[str, list[Optional[float]]],
+    x_labels: Sequence[str],
+    y_label: str = "",
+    width: int = 840,
+    tooltips: Optional[dict[str, list[str]]] = None,
+) -> str:
+    """Multi-series line chart over shared ordinal x positions.
+
+    ``series`` maps name -> one value per x position (None = gap).
+    Lines are 2px round-capped; every point is a >= 8px marker with a
+    2px surface ring and a native ``<title>`` tooltip; each line gets a
+    direct label at its end (series stay <= 8 by the palette contract).
+    """
+    n_x = len(x_labels)
+    if n_x == 0 or not series:
+        return ""
+    if len(series) > len(CATEGORICAL_SLOTS):
+        raise ValueError("more series than categorical slots; fold the tail")
+    pad_l, pad_r, pad_t, pad_b = 52, 86, 10, 34
+    plot_w = width - pad_l - pad_r
+    height = 240 + pad_t + pad_b
+    plot_h = height - pad_t - pad_b
+    vmax = max(
+        (v for vals in series.values() for v in vals if v is not None),
+        default=0.0,
+    )
+    ticks = nice_ticks(vmax)
+    top = ticks[-1] or 1.0
+
+    def x_at(i: int) -> float:
+        if n_x == 1:
+            return pad_l + plot_w / 2.0
+        return pad_l + plot_w * i / (n_x - 1)
+
+    def y_at(v: float) -> float:
+        return pad_t + plot_h * (1.0 - v / top)
+
+    out = [
+        f'<svg class="chart" viewBox="0 0 {width} {height}" '
+        f'role="img" aria-label="{_esc(y_label or "line chart")}">'
+    ]
+    for t in ticks:
+        y = y_at(t)
+        cls = "axisline" if t == 0 else "gridline"
+        out.append(
+            f'<line class="{cls}" x1="{pad_l}" y1="{y:.1f}" '
+            f'x2="{width - pad_r}" y2="{y:.1f}"/>'
+        )
+        out.append(
+            f'<text class="tick" x="{pad_l - 6}" y="{y + 3.5:.1f}" '
+            f'text-anchor="end">{_esc(fmt_num(t))}</text>'
+        )
+    if y_label:
+        out.append(
+            f'<text class="label" x="{pad_l}" y="{pad_t - 1}" '
+            f'text-anchor="start">{_esc(y_label)}</text>'
+        )
+    shown = max(1, n_x // 8 + (1 if n_x % 8 else 0))
+    for i, xl in enumerate(x_labels):
+        if i % shown and i != n_x - 1:
+            continue  # thin crowded ordinal ticks; the table has them all
+        out.append(
+            f'<text class="tick" x="{x_at(i):.1f}" y="{height - pad_b + 16}" '
+            f'text-anchor="middle">{_esc(xl)}</text>'
+        )
+    for si, (name, vals) in enumerate(series.items()):
+        color = series_var(si)
+        points = [
+            (x_at(i), y_at(v)) for i, v in enumerate(vals) if v is not None
+        ]
+        if not points:
+            continue
+        if len(points) > 1:
+            path = "M " + " L ".join(f"{x:.1f} {y:.1f}" for x, y in points)
+            out.append(
+                f'<path d="{path}" fill="none" stroke="{color}" '
+                'stroke-width="2" stroke-linecap="round" '
+                'stroke-linejoin="round"/>'
+            )
+        tips = (tooltips or {}).get(name, [])
+        pi = 0
+        for i, v in enumerate(vals):
+            if v is None:
+                continue
+            x, y = points[pi]
+            pi += 1
+            tip = tips[i] if i < len(tips) else f"{name} · {x_labels[i]}: {fmt_num(v)}"
+            out.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}" '
+                'stroke="var(--surface-1)" stroke-width="2">'
+                f"<title>{_esc(tip)}</title></circle>"
+            )
+        lx, ly = points[-1]
+        out.append(
+            f'<text class="label" x="{lx + 8:.1f}" y="{ly + 3.5:.1f}" '
+            f'text-anchor="start">{_esc(name)}</text>'
+        )
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+# ----------------------------------------------------------------------
+# grouped horizontal bars (comparisons)
+# ----------------------------------------------------------------------
+def grouped_hbar_svg(
+    labels: Sequence[str],
+    series: dict[str, Sequence[Optional[float]]],
+    value_label: str = "",
+    width: int = 840,
+    fmt=fmt_num,
+    tooltips: Optional[dict[str, Sequence[str]]] = None,
+    value_texts: Optional[dict[str, Sequence[str]]] = None,
+    label_width: int = 110,
+) -> str:
+    """Grouped horizontal bar chart: one band per label, one bar per series.
+
+    Bars are <= 18px thick with a 4px rounded data end (square at the
+    baseline), separated by a 2px surface gap; each bar carries its
+    value at the tip in text ink plus a ``<title>`` tooltip.
+    ``value_texts`` overrides the tip label per bar (e.g. to show a
+    signed value when the bar plots its magnitude).
+    """
+    if not labels or not series:
+        return ""
+    if len(series) > len(CATEGORICAL_SLOTS):
+        raise ValueError("more series than categorical slots; fold the tail")
+    n_series = len(series)
+    bar_h = max(8, min(18, 44 // n_series))
+    gap = 2  # the surface gap between touching bars of one band
+    band_h = n_series * bar_h + (n_series - 1) * gap + 14
+    pad_l, pad_r, pad_t, pad_b = label_width, 64, 8, 28
+    height = pad_t + band_h * len(labels) + pad_b
+    plot_w = width - pad_l - pad_r
+    vmax = max(
+        (v for vals in series.values() for v in vals if v is not None),
+        default=0.0,
+    )
+    ticks = nice_ticks(vmax)
+    top = ticks[-1] or 1.0
+
+    def x_at(v: float) -> float:
+        return pad_l + plot_w * (v / top)
+
+    out = [
+        f'<svg class="chart" viewBox="0 0 {width} {height}" '
+        f'role="img" aria-label="{_esc(value_label or "bar chart")}">'
+    ]
+    for t in ticks:
+        x = x_at(t)
+        cls = "axisline" if t == 0 else "gridline"
+        out.append(
+            f'<line class="{cls}" x1="{x:.1f}" y1="{pad_t}" '
+            f'x2="{x:.1f}" y2="{height - pad_b}"/>'
+        )
+        out.append(
+            f'<text class="tick" x="{x:.1f}" y="{height - pad_b + 16}" '
+            f'text-anchor="middle">{_esc(fmt(t))}</text>'
+        )
+    if value_label:
+        out.append(
+            f'<text class="label" x="{width - pad_r}" '
+            f'y="{height - pad_b + 16}" text-anchor="start">'
+            f"{_esc(value_label)}</text>"
+        )
+    r = 4  # rounded data end
+    for li, label in enumerate(labels):
+        band_y = pad_t + li * band_h + 7
+        out.append(
+            f'<text class="label" x="{pad_l - 8}" '
+            f'y="{band_y + (n_series * (bar_h + gap)) / 2 + 2:.1f}" '
+            f'text-anchor="end">{_esc(label)}</text>'
+        )
+        for si, (name, vals) in enumerate(series.items()):
+            v = vals[li] if li < len(vals) else None
+            if v is None:
+                continue
+            y = band_y + si * (bar_h + gap)
+            w = max(0.0, x_at(v) - pad_l)
+            color = series_var(si)
+            if w <= r:  # degenerate sliver: plain rect, no rounding
+                shape = (
+                    f'<rect x="{pad_l}" y="{y:.1f}" width="{max(w, 1):.1f}" '
+                    f'height="{bar_h}" fill="{color}"/>'
+                )
+            else:
+                shape = (
+                    f'<path d="M {pad_l} {y:.1f} h {w - r:.1f} '
+                    f"q {r} 0 {r} {r} v {bar_h - 2 * r} "
+                    f'q 0 {r} {-r} {r} h {-(w - r):.1f} z" fill="{color}"/>'
+                )
+            tip = (
+                (tooltips or {}).get(name, [None] * len(labels))[li]
+                or f"{label} · {name}: {fmt(v)}"
+            )
+            out.append(shape[:-2] + f"><title>{_esc(tip)}</title></path>"
+                       if shape.startswith("<path")
+                       else shape[:-2] + f"><title>{_esc(tip)}</title></rect>")
+            vtexts = (value_texts or {}).get(name)
+            vtext = vtexts[li] if vtexts and li < len(vtexts) else fmt(v)
+            out.append(
+                f'<text class="value" x="{pad_l + w + 6:.1f}" '
+                f'y="{y + bar_h / 2 + 3.5:.1f}" text-anchor="start">'
+                f"{_esc(vtext)}</text>"
+            )
+    out.append("</svg>")
+    return "\n".join(out)

@@ -46,6 +46,33 @@ class FuzzReport:
     def clean(self) -> bool:
         return not self.failures
 
+    def to_dict(self) -> dict:
+        """Machine-readable campaign summary (history/dashboard food)."""
+        from repro.analysis.schema import FUZZ_SCHEMA
+
+        return {
+            "schema_version": FUZZ_SCHEMA,
+            "campaign_seed": self.campaign_seed,
+            "schedulers": list(self.schedulers),
+            "cases_run": self.cases_run,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "cases_per_sec": round(
+                self.cases_run / self.wall_seconds, 3
+            ) if self.wall_seconds > 0 else 0.0,
+            "clean": self.clean,
+            "failures": [
+                {
+                    "case_index": f.case_index,
+                    "oracle": f.oracle,
+                    "scheduler": f.scheduler,
+                    "detail": f.detail,
+                    "artifact_path": f.artifact_path,
+                    "minimized_warps": f.minimized_warps,
+                }
+                for f in self.failures
+            ],
+        }
+
 
 def default_schedulers() -> list[str]:
     """Every registered policy, idealized ones included, in stable order."""
@@ -131,12 +158,17 @@ def run_campaign(
     artifact_dir: Optional[str] = "fuzz-artifacts",
     do_minimize: bool = True,
     log: Callable[[str], None] = lambda _msg: None,
+    history: bool = True,
 ) -> FuzzReport:
     """Run one fuzzing campaign; returns the report (never raises on bugs).
 
     Either ``iterations`` or ``time_budget_s`` (or both) must bound the
     campaign.  The budget check happens only *between* cases: case ``i``
     is always the same case regardless of machine speed.
+
+    The campaign report is appended to the run-history store by default
+    (docs/observability.md), so dashboard fuzz stats survive the CI run
+    that produced them; ``history=False`` or ``REPRO_HISTORY=0`` skips.
     """
     if iterations is None and time_budget_s is None:
         raise ValueError("bound the campaign with iterations or time_budget_s")
@@ -168,4 +200,10 @@ def run_campaign(
         report.cases_run += 1
         index += 1
     report.wall_seconds = time.monotonic() - t0
+    if history:
+        from repro.history import record_run
+
+        record = record_run("fuzz", report.to_dict())
+        if record is not None:
+            log(f"history record {record.record_id} appended")
     return report

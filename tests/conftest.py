@@ -9,6 +9,12 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))  # make `helpers` importable
 
+# Simulations inside tests must not append run-history records into the
+# working tree (results/history/).  Tests of the history machinery opt
+# back in with monkeypatch.setenv("REPRO_HISTORY", "1") + a tmp dir, or
+# pass a store explicitly.
+os.environ.setdefault("REPRO_HISTORY", "0")
+
 from repro.core.config import SimConfig  # noqa: E402
 
 from helpers import MCHarness  # noqa: E402

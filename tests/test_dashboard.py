@@ -1,0 +1,339 @@
+"""Dashboard: every figure recipe renders from a tiny fixture history,
+the build is self-contained, and the CLI gates on hollow builds."""
+
+from __future__ import annotations
+
+import json
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.experiments import accuracy_doc
+from repro.dashboard import REQUIRED_FIGURES, build_dashboard
+from repro.dashboard.figures import (
+    accuracy_figure,
+    fuzz_figure,
+    scheduler_matrix_figure,
+    trajectory_figure,
+)
+from repro.dashboard.svg import (
+    CATEGORICAL_SLOTS,
+    fmt_num,
+    grouped_hbar_svg,
+    line_chart_svg,
+    nice_ticks,
+    series_var,
+)
+from repro.history.store import HistoryStore
+
+
+# ----------------------------------------------------------------------
+# fixture history
+# ----------------------------------------------------------------------
+def _bench_payload(base_eps: float) -> dict:
+    jobs = []
+    for sched, mult in (("gmc", 1.0), ("wg", 0.8), ("wg-w", 0.7)):
+        for scale in ("TINY", "SMALL"):
+            eps = base_eps * mult * (1.0 if scale == "TINY" else 0.9)
+            jobs.append({
+                "id": f"core/bfs/{sched}/{scale.lower()}/s1",
+                "scheduler": sched, "scale": scale, "sim_events": 10_000,
+                "sim_wall_s": round(10_000 / eps, 4),
+                "events_per_sec": round(eps, 1),
+            })
+    return {
+        "schema_version": 1, "kind": "core",
+        "calibration_ops_per_sec": 8.0e6,
+        "events_per_sec": base_eps, "jobs_total": len(jobs), "jobs": jobs,
+    }
+
+
+def _fuzz_payload(clean: bool) -> dict:
+    return {
+        "schema_version": 1, "campaign_seed": 3,
+        "schedulers": ["gmc", "wg", "wg-m", "wg-bw", "wg-w"],
+        "cases_run": 120, "wall_seconds": 30.0, "cases_per_sec": 4.0,
+        "clean": clean,
+        "failures": [] if clean else [
+            {"case_index": 5, "oracle": "conservation", "scheduler": "wg",
+             "detail": "lost request", "artifact_path": "a.json",
+             "minimized_warps": 2},
+        ],
+    }
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch) -> HistoryStore:
+    monkeypatch.setenv("REPRO_GIT_SHA", "feedc0de1234567")
+    s = HistoryStore(str(tmp_path / "history"))
+    for eps in (40_000.0, 60_000.0, 90_000.0):
+        s.append("bench", _bench_payload(eps))
+    s.append("fuzz", _fuzz_payload(clean=True))
+    s.append("fuzz", _fuzz_payload(clean=False))
+    return s
+
+
+def _assert_valid_svg(svg: str) -> ET.Element:
+    assert svg.startswith("<svg")
+    return ET.fromstring(svg)
+
+
+# ----------------------------------------------------------------------
+# figure recipes
+# ----------------------------------------------------------------------
+def test_trajectory_figure_renders(store):
+    fig = trajectory_figure(store.records("bench"))
+    assert not fig.empty
+    _assert_valid_svg(fig.svg)
+    # one marker per (record, scheduler): 3 records x 3 schedulers
+    assert fig.svg.count("<circle") == 9
+    # normalized value: 40k eps / 8M cal * 1000 = 5.0 for gmc@TINY
+    assert "5" in fig.svg
+    assert fig.legend_html and "gmc" in fig.legend_html
+    assert fig.table_html.count("<tr>") == 1 + 3  # header + one per record
+    assert "TINY" in fig.note
+
+
+def test_trajectory_folds_series_past_palette(store):
+    payload = _bench_payload(50_000.0)
+    extra = [
+        dict(payload["jobs"][0], id=f"core/bfs/x{i}/tiny/s1", scheduler=f"x{i}")
+        for i in range(10)
+    ]
+    payload["jobs"].extend(extra)
+    store.append("bench", payload)
+    fig = trajectory_figure(store.records("bench"))
+    assert not fig.empty
+    assert "not plotted" in fig.note
+    # never more series than palette slots
+    assert fig.legend_html.count("swatch") <= len(CATEGORICAL_SLOTS)
+
+
+def test_trajectory_empty(store):
+    fig = trajectory_figure([])
+    assert fig.empty and "repro bench" in fig.empty_reason
+
+
+def test_scheduler_matrix_renders(store):
+    fig = scheduler_matrix_figure(store.latest("bench"))
+    assert not fig.empty
+    _assert_valid_svg(fig.svg)
+    assert fig.legend_html and "TINY" in fig.legend_html
+    assert "gmc" in fig.svg and "wg-w" in fig.svg
+    assert "k events/s" in fig.svg
+    assert fig.note.startswith("record bench-0003")
+
+
+def test_scheduler_matrix_empty():
+    fig = scheduler_matrix_figure(None)
+    assert fig.empty
+
+
+def test_accuracy_figure_renders_real_export():
+    fig = accuracy_figure(accuracy_doc())
+    assert not fig.empty
+    _assert_valid_svg(fig.svg)
+    # signed tip labels survive the magnitude plot
+    assert "-9.1" in fig.svg or "−9.1" in fig.svg or "+8.1" in fig.svg
+    assert "paper" in fig.legend_html and "measured" in fig.legend_html
+    # every entry lands in the table, charted or not
+    assert fig.table_html.count("<tr>") == 1 + len(accuracy_doc()["entries"])
+    assert "table-only" in fig.note
+
+
+def test_accuracy_figure_empty():
+    for doc in (None, {}, {"entries": []}):
+        fig = accuracy_figure(doc)
+        assert fig.empty and "repro accuracy" in fig.empty_reason
+
+
+def test_fuzz_figure_renders(store):
+    fig = fuzz_figure(store.records("fuzz"))
+    assert not fig.empty
+    _assert_valid_svg(fig.svg)
+    # outcome is icon + label, never color alone
+    assert "✓ clean" in fig.svg and "✗ 1 failed" in fig.svg
+    assert "1 oracle failure" in fig.note
+    assert fig.table_html.count("<tr>") == 1 + 2
+
+
+def test_fuzz_figure_empty():
+    fig = fuzz_figure([])
+    assert fig.empty and "repro fuzz" in fig.empty_reason
+
+
+# ----------------------------------------------------------------------
+# build
+# ----------------------------------------------------------------------
+def test_build_dashboard_self_contained(store, tmp_path):
+    acc = tmp_path / "accuracy.json"
+    acc.write_text(json.dumps(accuracy_doc()))
+    out = tmp_path / "dash"
+    build = build_dashboard(store.root, str(out), accuracy_path=str(acc))
+    assert build.ok, build.problems
+    html = (out / "index.html").read_text()
+    # one portable file: no scripts, no network fetches, inline SVG only
+    assert "<script" not in html
+    assert "http://" not in html and "https://" not in html.replace(
+        "https://ui.perfetto.dev", ""
+    )
+    assert html.count("<svg") == 4
+    for figure_id in ("trajectory", "schedulers", "accuracy", "fuzz"):
+        assert f'id="{figure_id}"' in html
+    # dark mode ships as its own validated steps, not an automatic flip
+    assert "prefers-color-scheme: dark" in html
+    assert "#2a78d6" in html and "#3987e5" in html
+    # hero tiles and provenance stamp
+    assert "history records" in html
+    assert "feedc0de" in html
+
+
+def test_build_dashboard_hollow_store_fails_check(tmp_path):
+    build = build_dashboard(
+        str(tmp_path / "nohistory"), str(tmp_path / "dash")
+    )
+    assert not build.ok
+    flagged = {p.split("'")[1] for p in build.problems if "'" in p}
+    assert flagged == set(REQUIRED_FIGURES)
+    # the page is still written (with empty-state reasons) for debugging
+    assert (tmp_path / "dash" / "index.html").exists()
+    assert "EMPTY" in build.summary()
+
+
+def test_build_dashboard_surfaces_skipped_lines(store, tmp_path):
+    with open(store.path("bench"), "a") as fh:
+        fh.write("not json at all\n")
+    build = build_dashboard(store.root, str(tmp_path / "dash"))
+    html = (tmp_path / "dash" / "index.html").read_text()
+    assert "Skipped history lines" in html
+    assert "unparsable" in html
+
+
+def test_build_dashboard_bad_accuracy_is_a_problem(store, tmp_path):
+    acc = tmp_path / "accuracy.json"
+    acc.write_text("{broken")
+    build = build_dashboard(
+        store.root, str(tmp_path / "dash"), accuracy_path=str(acc)
+    )
+    assert any("unreadable" in p for p in build.problems)
+
+
+# ----------------------------------------------------------------------
+# SVG primitives
+# ----------------------------------------------------------------------
+def test_palette_is_never_cycled():
+    with pytest.raises(ValueError):
+        series_var(len(CATEGORICAL_SLOTS))
+    too_many = {f"s{i}": [1.0] for i in range(len(CATEGORICAL_SLOTS) + 1)}
+    with pytest.raises(ValueError, match="fold"):
+        line_chart_svg(too_many, ["x"])
+    with pytest.raises(ValueError, match="fold"):
+        grouped_hbar_svg(["a"], too_many)
+
+
+def test_line_chart_handles_gaps_and_escaping():
+    svg = line_chart_svg(
+        {"a<b": [1.0, None, 3.0]}, ["t0", "t1", "t2"], y_label="<v>"
+    )
+    root = ET.fromstring(svg)
+    assert svg.count("<circle") == 2  # the None point draws nothing
+    assert "a&lt;b" in svg and "&lt;v&gt;" in svg
+    assert root.get("viewBox")
+
+
+def test_grouped_hbar_value_texts_and_tooltips():
+    svg = grouped_hbar_svg(
+        ["row"], {"s": [2.0]},
+        tooltips={"s": ["custom tip"]},
+        value_texts={"s": ["+2.0%"]},
+    )
+    ET.fromstring(svg)
+    assert "custom tip" in svg and "+2.0%" in svg
+    assert "<title>" in svg
+
+
+def test_empty_inputs_render_nothing():
+    assert line_chart_svg({}, []) == ""
+    assert grouped_hbar_svg([], {}) == ""
+
+
+def test_nice_ticks_cover_range():
+    for vmax in (0.013, 0.9, 1.0, 7.3, 42.0, 123_456.0):
+        ticks = nice_ticks(vmax)
+        assert ticks[0] == 0.0
+        assert ticks[-1] >= vmax
+        assert ticks == sorted(ticks)
+        assert 3 <= len(ticks) <= 8
+    assert nice_ticks(0.0) == [0.0, 1.0]
+
+
+def test_fmt_num():
+    assert fmt_num(0) == "0"
+    assert fmt_num(7.25) == "7.25"
+    assert fmt_num(950) == "950"
+    assert fmt_num(12_500) == "12.5k"
+    assert fmt_num(3_200_000) == "3.2M"
+    assert fmt_num(0.013) == "0.013"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_dashboard_check_gates(store, tmp_path, capsys):
+    acc = tmp_path / "accuracy.json"
+    acc.write_text(json.dumps(accuracy_doc()))
+    out = str(tmp_path / "dash")
+    assert main([
+        "dashboard", "--out", out, "--history-dir", store.root,
+        "--accuracy", str(acc), "--check",
+    ]) == 0
+    err = capsys.readouterr().err
+    assert re.search(r"trajectory\s+ok", err)
+
+    empty = str(tmp_path / "empty-history")
+    assert main([
+        "dashboard", "--out", out, "--history-dir", empty, "--check",
+    ]) == 1
+    assert "hollow" in capsys.readouterr().err
+
+
+def test_cli_history_list_show_diff(store, capsys):
+    assert main(["history", "--dir", store.root, "list"]) == 0
+    out = capsys.readouterr().out
+    assert "bench-0003" in out and "fuzz-0002" in out
+
+    assert main(["history", "--dir", store.root, "list",
+                 "--kind", "fuzz", "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz-0002" in out and "bench" not in out
+
+    assert main(["history", "--dir", store.root, "show", "bench-0002"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["id"] == "bench-0002"
+
+    # faster new record vs older baseline: no regression, exit 0
+    assert main(["history", "--dir", store.root,
+                 "diff", "bench-0001", "bench-0003"]) == 0
+    assert "2.25x baseline" in capsys.readouterr().out
+    # slower new record: regression, exit 1
+    assert main(["history", "--dir", store.root,
+                 "diff", "bench-0003", "bench-0001"]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_cli_history_errors(store, capsys):
+    assert main(["history", "--dir", store.root, "show", "nope-0001"]) == 2
+    assert "no record" in capsys.readouterr().err
+    assert main(["history", "--dir", store.root,
+                 "diff", "bench-0001", "fuzz-0001"]) == 2
+    assert "cannot diff" in capsys.readouterr().err
+
+
+def test_cli_accuracy_export(tmp_path, capsys):
+    out = tmp_path / "acc.json"
+    assert main(["accuracy", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["entries"] and doc["kind"] == "accuracy"
+    assert "19 paper-vs-measured" in capsys.readouterr().err
