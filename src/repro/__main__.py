@@ -15,6 +15,11 @@ Subcommands:
 * ``sweep``       — fill the result cache with a parallel
   (benchmark x scheduler x seed) sweep: worker pool, retries, live
   progress, resumable manifest, machine-readable throughput report;
+  ``--spec FILE`` runs a declarative scenario spec instead of grid
+  flags (docs/scenarios.md);
+* ``scenario``    — work with the declarative scenario library
+  (``run``/``list``/``validate``) — see docs/scenarios.md and the
+  committed ``scenarios/`` directory;
 * ``reproduce``   — regenerate the paper's tables and figures;
 * ``fuzz``        — differential/metamorphic fuzzing campaign over random
   configs and workloads, with failure minimization and replayable repro
@@ -37,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import repro.idealized  # noqa: F401  (registers zero-div)
@@ -53,6 +59,10 @@ from repro import (
 from repro.analysis import format_table, run_all
 from repro.analysis.runner import ExperimentRunner
 from repro.analysis.sweep import run_sweep
+from repro.core.overrides import (
+    apply_overrides as apply_config_overrides,
+    parse_assignment,
+)
 from repro.dram.validate import ProtocolViolationError
 from repro.guardrails import (
     CheckpointError,
@@ -65,14 +75,29 @@ from repro.telemetry import TelemetryHub
 
 
 def _trace(args, cfg):
-    kind = args.kind or "synthetic"
+    # Default kind resolves per benchmark: the modern suite (embgather,
+    # graphsample) has no synthetic profile and runs algorithmically.
+    kind = args.kind or (
+        "synthetic" if args.benchmark in ALL_PROFILES else "algorithmic"
+    )
     scale = Scale[(args.scale or "quick").upper()]
     seed = 1 if args.seed is None else args.seed
     if kind == "synthetic":
-        return synthetic_trace(
-            ALL_PROFILES[args.benchmark], cfg, seed=seed, scale=scale.factor
-        )
+        try:
+            profile = ALL_PROFILES[args.benchmark]
+        except KeyError:
+            raise ValueError(
+                f"benchmark {args.benchmark!r} has no synthetic profile; "
+                "use --kind algorithmic"
+            ) from None
+        return synthetic_trace(profile, cfg, seed=seed, scale=scale.factor)
     return build_benchmark(args.benchmark, cfg, scale, seed=seed)
+
+
+def _benches_for_kind(kind: str) -> list[str]:
+    """Default benchmark set per trace kind: synthetic sweeps only the
+    profile-backed paper suites; algorithmic sweeps everything."""
+    return sorted(ALL_PROFILES) if kind == "synthetic" else sorted(benchmark_names())
 
 
 def _make_hub(args, force: bool = False) -> TelemetryHub | None:
@@ -205,38 +230,15 @@ def _run_restored(args) -> int:
 
 
 def _apply_overrides(cfg: SimConfig, overrides: list[str]) -> SimConfig:
-    """Apply ``--set section.field=value`` edits; re-validates on replace."""
-    import dataclasses
-
+    """Apply ``--set section.field=value`` edits at any nesting depth
+    (``use_l1``, ``dram_timing.tras_ns``, ``gpu.l1.size_bytes``); bad
+    paths report the valid field tree, and every edit re-validates
+    through the dataclass constructors (:mod:`repro.core.overrides`)."""
+    pairs: dict[str, object] = {}
     for item in overrides:
-        key, sep, raw = item.partition("=")
-        if not sep or not key:
-            raise ValueError(f"--set expects section.field=value, got {item!r}")
-        if raw.lower() in ("true", "false"):
-            value: object = raw.lower() == "true"
-        else:
-            try:
-                value = int(raw)
-            except ValueError:
-                try:
-                    value = float(raw)
-                except ValueError:
-                    value = raw
-        parts = key.split(".")
-        if len(parts) == 1:
-            if not hasattr(cfg, parts[0]):
-                raise ValueError(f"unknown config field {key!r}")
-            cfg = dataclasses.replace(cfg, **{parts[0]: value})
-        elif len(parts) == 2:
-            section = getattr(cfg, parts[0], None)
-            if not dataclasses.is_dataclass(section) or not hasattr(section, parts[1]):
-                raise ValueError(f"unknown config field {key!r}")
-            cfg = dataclasses.replace(
-                cfg, **{parts[0]: dataclasses.replace(section, **{parts[1]: value})}
-            )
-        else:
-            raise ValueError(f"--set supports at most one dot, got {key!r}")
-    return cfg
+        key, value = parse_assignment(item)
+        pairs[key] = value  # repeated --set of one key: last one wins
+    return apply_config_overrides(cfg, pairs)
 
 
 def cmd_run(args) -> int:
@@ -256,9 +258,14 @@ def cmd_run(args) -> int:
         except (ValueError, TypeError) as exc:
             print(f"repro run: invalid configuration: {exc}", file=sys.stderr)
             return 2
+        try:
+            trace = _trace(args, cfg)
+        except ValueError as exc:
+            print(f"repro run: error: {exc}", file=sys.stderr)
+            return 2
         hub = _make_hub(args)
         stats = simulate(
-            cfg, _trace(args, cfg), telemetry=hub,
+            cfg, trace, telemetry=hub,
             guardrails=_guardrails_from_args(args),
         )
     except CheckpointError as exc:
@@ -307,17 +314,79 @@ def cmd_compare(args) -> int:
 SWEEP_SCHEDULERS = ("gmc", "wg", "wg-m", "wg-bw", "wg-w")
 
 
+def _sweep_from_spec(args) -> int:
+    """``sweep --spec FILE``: the grid comes from a scenario spec."""
+    from repro.scenarios import SpecError, load_spec, run_scenario
+
+    given = [
+        flag
+        for flag, value in (
+            ("--benchmarks", args.benchmarks),
+            ("--schedulers", args.schedulers),
+            ("--scale", args.scale),
+            ("--seeds", args.seeds),
+            ("--kind", args.kind),
+        )
+        if value is not None
+    ]
+    if args.perfect:
+        given.append("--perfect")
+    if given:
+        print(
+            f"repro sweep: error: --spec carries the whole grid; drop "
+            f"{', '.join(given)} (edit the spec instead)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = run_scenario(
+            spec,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            resume=args.resume,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except RuntimeError as exc:  # failed jobs, already itemized
+        print(f"repro sweep: error: {exc}", file=sys.stderr)
+        return 1
+    print(result.format())
+    if args.bench_out:
+        result.report.write_bench(args.bench_out)
+        print(f"[sweep] throughput report -> {args.bench_out}", file=sys.stderr)
+    return 0
+
+
 def cmd_sweep(args) -> int:
+    if args.spec is not None:
+        return _sweep_from_spec(args)
+    kind = args.kind or "synthetic"
+    benchmarks = args.benchmarks or _benches_for_kind(kind)
+    if kind == "synthetic":
+        unprofiled = [b for b in benchmarks if b not in ALL_PROFILES]
+        if unprofiled:
+            print(
+                f"repro sweep: error: no synthetic profile for "
+                f"{', '.join(unprofiled)}; use --kind algorithmic",
+                file=sys.stderr,
+            )
+            return 2
     runner = ExperimentRunner(
-        scale=Scale[args.scale.upper()],
-        seeds=tuple(args.seeds),
-        kind=args.kind,
+        scale=Scale[(args.scale or "quick").upper()],
+        seeds=tuple(args.seeds or (1, 2)),
+        kind=kind,
         cache_dir=args.cache_dir,
     )
     report = run_sweep(
         runner,
-        args.benchmarks,
-        args.schedulers,
+        benchmarks,
+        args.schedulers or list(SWEEP_SCHEDULERS),
         perfect=args.perfect,
         workers=args.workers,
         timeout_s=args.timeout,
@@ -333,6 +402,105 @@ def cmd_sweep(args) -> int:
     return 1 if report.n_failed else 0
 
 
+def cmd_scenario(args) -> int:
+    from repro.scenarios import (
+        SpecError,
+        find_specs,
+        load_spec,
+        run_scenario,
+        validate_spec_file,
+    )
+
+    if args.action == "validate":
+        paths: list[str] = []
+        try:
+            for target in args.paths:
+                paths.extend(
+                    find_specs(target) if os.path.isdir(target) else [target]
+                )
+        except SpecError as exc:
+            print(f"repro scenario: error: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(
+                f"repro scenario: error: no spec files under "
+                f"{', '.join(args.paths)}",
+                file=sys.stderr,
+            )
+            return 2
+        n_bad = 0
+        for path in paths:
+            err = validate_spec_file(path)
+            if err is None:
+                print(f"[scenario] OK      {path}")
+            else:
+                n_bad += 1
+                print(f"[scenario] INVALID {err}")
+        print(
+            f"[scenario] {len(paths) - n_bad}/{len(paths)} spec(s) valid",
+            file=sys.stderr,
+        )
+        return 1 if n_bad else 0
+
+    if args.action == "list":
+        from repro.analysis import format_table
+
+        try:
+            paths = find_specs(args.dir)
+        except SpecError as exc:
+            print(f"repro scenario: error: {exc}", file=sys.stderr)
+            return 2
+        rows = []
+        for path in paths:
+            try:
+                spec = load_spec(path)
+            except SpecError:
+                rows.append([os.path.basename(path), "INVALID", "-", "-", "-"])
+                continue
+            rows.append([
+                spec.name, spec.preset, spec.workload.kind,
+                str(spec.n_jobs), spec.description[:44],
+            ])
+        if not rows:
+            print(f"[scenario] no specs under {args.dir}", file=sys.stderr)
+            return 0
+        print(format_table(
+            ["name", "preset", "kind", "jobs", "description"], rows,
+            title=f"scenario library ({args.dir})",
+        ))
+        return 0
+
+    # run SPEC
+    try:
+        spec = load_spec(args.spec)
+    except SpecError as exc:
+        print(f"repro scenario: error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"[scenario] {spec.name}: preset {spec.preset}, "
+        f"{spec.n_jobs} jobs at {args.scale or spec.scale} "
+        f"(spec {spec.spec_hash()})",
+        file=sys.stderr,
+    )
+    try:
+        result = run_scenario(
+            spec,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            resume=args.resume,
+            scale=args.scale,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+    except RuntimeError as exc:
+        print(f"repro scenario: error: {exc}", file=sys.stderr)
+        return 1
+    print(result.format())
+    if args.out:
+        result.write(args.out)
+        print(f"[scenario] results -> {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_reproduce(args) -> int:
     if args.workers > 0:
         # Warm the cache with one parallel sweep over the combinations the
@@ -341,13 +509,14 @@ def cmd_reproduce(args) -> int:
             scale=Scale[args.scale.upper()], seeds=tuple(args.seeds),
             kind=args.kind, cache_dir=args.cache_dir,
         )
+        benches = _benches_for_kind(args.kind)
         run_sweep(
-            runner, sorted(benchmark_names()), (*SWEEP_SCHEDULERS, "wafcfs", "zero-div"),
+            runner, benches, (*SWEEP_SCHEDULERS, "wafcfs", "zero-div"),
             workers=args.workers, resume=True,
             progress=lambda msg: print(msg, file=sys.stderr),
         ).raise_on_failure()
         run_sweep(
-            runner, sorted(benchmark_names()), ("gmc",), perfect=True,
+            runner, benches, ("gmc",), perfect=True,
             workers=args.workers, resume=True,
             progress=lambda msg: print(msg, file=sys.stderr),
         ).raise_on_failure()
@@ -503,8 +672,15 @@ def cmd_bench(args) -> int:
 
 
 def cmd_list(_args) -> int:
-    print("benchmarks:", ", ".join(benchmark_names()))
-    print("schedulers:", ", ".join(sorted(SCHEDULERS)))
+    from repro.dram.timing import DRAM_PRESETS
+    from repro.workloads.suite import IRREGULAR_SUITE, MODERN_SUITE, REGULAR_SUITE
+
+    print("irregular benchmarks:", ", ".join(IRREGULAR_SUITE))
+    print("regular benchmarks:  ", ", ".join(REGULAR_SUITE))
+    print("modern benchmarks:   ", ", ".join(MODERN_SUITE),
+          "(algorithmic kind only)")
+    print("schedulers:          ", ", ".join(sorted(SCHEDULERS)))
+    print("dram presets:        ", ", ".join(sorted(DRAM_PRESETS)))
     return 0
 
 
@@ -755,17 +931,23 @@ def main(argv: list[str] | None = None) -> int:
     p_sw = sub.add_parser(
         "sweep", help="parallel (benchmark x scheduler x seed) cache-filling sweep"
     )
+    # Grid flags default to None so --spec can reject explicit ones; the
+    # effective defaults (kind-aware benchmark set, gmc + WG family,
+    # quick, seeds 1 2) resolve in cmd_sweep.
+    p_sw.add_argument("--spec", default=None, metavar="FILE",
+                      help="run a declarative scenario spec instead of "
+                           "grid flags (docs/scenarios.md)")
     p_sw.add_argument("--benchmarks", nargs="+", metavar="BENCH",
-                      default=sorted(benchmark_names()),
-                      choices=sorted(benchmark_names()),
-                      help="benchmarks to sweep (default: all)")
+                      default=None, choices=sorted(benchmark_names()),
+                      help="benchmarks to sweep (default: all with a "
+                           "profile for the kind)")
     p_sw.add_argument("--schedulers", nargs="+", metavar="SCHED",
-                      default=list(SWEEP_SCHEDULERS), choices=sorted(SCHEDULERS),
+                      default=None, choices=sorted(SCHEDULERS),
                       help="schedulers to sweep (default: gmc + WG family)")
-    p_sw.add_argument("--scale", default="quick",
+    p_sw.add_argument("--scale", default=None,
                       choices=[s.name.lower() for s in Scale])
-    p_sw.add_argument("--seeds", type=int, nargs="+", default=[1, 2])
-    p_sw.add_argument("--kind", default="synthetic",
+    p_sw.add_argument("--seeds", type=int, nargs="+", default=None)
+    p_sw.add_argument("--kind", default=None,
                       choices=["synthetic", "algorithmic"])
     p_sw.add_argument("--cache-dir", default=".repro-results")
     p_sw.add_argument("--workers", type=int, default=4,
@@ -782,6 +964,34 @@ def main(argv: list[str] | None = None) -> int:
                       help="machine-readable throughput report "
                            "(default BENCH_sweep.json; '' to skip)")
     p_sw.set_defaults(fn=cmd_sweep)
+
+    p_sc = sub.add_parser(
+        "scenario",
+        help="declarative scenario specs: run/list/validate (docs/scenarios.md)",
+    )
+    sc_sub = p_sc.add_subparsers(dest="action", required=True)
+    sc_run = sc_sub.add_parser("run", help="execute one spec end to end")
+    sc_run.add_argument("spec", metavar="SPEC", help="spec file (.yaml/.json)")
+    sc_run.add_argument("--cache-dir", default=".repro-results")
+    sc_run.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: the spec's; 0 = inline)")
+    sc_run.add_argument("--resume", action="store_true",
+                        help="skip jobs the sweep manifest already marks done")
+    sc_run.add_argument("--scale", default=None,
+                        choices=[s.name.lower() for s in Scale],
+                        help="override the spec's scale (e.g. tiny for CI)")
+    sc_run.add_argument("--out", default=None, metavar="PATH",
+                        help="write the full result document as JSON")
+    sc_list = sc_sub.add_parser("list", help="tabulate a spec directory")
+    sc_list.add_argument("dir", nargs="?", default="scenarios",
+                         help="spec directory (default scenarios/)")
+    sc_val = sc_sub.add_parser(
+        "validate",
+        help="validate spec files/directories; exit 1 on any invalid spec",
+    )
+    sc_val.add_argument("paths", nargs="+", metavar="PATH",
+                        help="spec files or directories of specs")
+    p_sc.set_defaults(fn=cmd_scenario)
 
     p_rep = sub.add_parser("reproduce", help="regenerate the paper's evaluation")
     p_rep.add_argument("--scale", default="quick",

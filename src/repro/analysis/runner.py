@@ -21,7 +21,11 @@ Workload kinds:
   calibrated to the per-benchmark statistics the paper reports (default
   for figure regeneration);
 * ``algorithmic`` — traces emitted by actually running each algorithm
-  (secondary validation; see DESIGN.md).
+  (secondary validation; see DESIGN.md);
+* ``trace``       — externally supplied trace files replayed as-is
+  (``trace_paths`` maps benchmark names to ``.json``/``.npz`` files; the
+  cache key folds in a content fingerprint of each file, so editing a
+  trace invalidates its entries like any config change would).
 
 The parallel sweep harness built on top of this runner (worker dispatch,
 retries, resume manifest, progress) lives in :mod:`repro.analysis.sweep`.
@@ -46,7 +50,7 @@ from repro.idealized import perfect_coalescing
 from repro.workloads.profiles import ALL_PROFILES, IRREGULAR_BENCHMARKS, REGULAR_BENCHMARKS
 from repro.workloads.suite import Scale, build_benchmark
 from repro.workloads.synthetic import synthetic_trace
-from repro.workloads.trace import KernelTrace
+from repro.workloads.trace import KernelTrace, load_trace_file
 
 __all__ = [
     "ExperimentRunner",
@@ -99,16 +103,27 @@ def atomic_write_json(path: str, obj) -> None:
         raise
 
 
+def _file_fingerprint(path: str) -> str:
+    """12-hex content hash of a file (external-trace cache identity)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()[:12]
+
+
 def run_one_job(job: tuple) -> tuple:
     """Worker entry point for parallel sweeps (must be module-level for
     pickling).  ``job`` = (config, scale_name, kind, bench, scheduler,
-    seed, perfect, cache_dir[, checkpoint_period_ns]); returns
+    seed, perfect, cache_dir[, checkpoint_period_ns[, trace_paths]]);
+    returns
     ((bench, scheduler, seed, perfect), summary, meta) where ``meta``
     records whether the job actually simulated (and whether it resumed
     from a checkpoint) plus its wall time and engine event count.
     """
     config, scale_name, kind, bench, scheduler, seed, perfect, cache_dir = job[:8]
     checkpoint_period_ns = job[8] if len(job) > 8 else 0.0
+    trace_paths = job[9] if len(job) > 9 else None
     _maybe_inject_crash(cache_dir, bench, scheduler, seed)
     runner = ExperimentRunner(
         config=config,
@@ -117,6 +132,7 @@ def run_one_job(job: tuple) -> tuple:
         kind=kind,
         cache_dir=cache_dir,
         checkpoint_period_ns=checkpoint_period_ns,
+        trace_paths=trace_paths,
     )
     t0 = time.time()
     summary = runner.run(bench, scheduler, seed, perfect)
@@ -205,9 +221,18 @@ class ExperimentRunner:
         cache_dir: Optional[str] = None,
         verbose: bool = False,
         checkpoint_period_ns: float = 0.0,
+        trace_paths: Optional[dict[str, str]] = None,
     ) -> None:
-        if kind not in ("synthetic", "algorithmic"):
-            raise ValueError("kind must be 'synthetic' or 'algorithmic'")
+        if kind not in ("synthetic", "algorithmic", "trace"):
+            raise ValueError(
+                "kind must be 'synthetic', 'algorithmic' or 'trace'"
+            )
+        if kind == "trace" and not trace_paths:
+            raise ValueError(
+                "kind='trace' needs trace_paths mapping names to files"
+            )
+        if kind != "trace" and trace_paths:
+            raise ValueError("trace_paths only applies to kind='trace'")
         if checkpoint_period_ns > 0 and cache_dir is None:
             raise ValueError("checkpoint_period_ns requires a cache_dir")
         self.config = config or SimConfig()
@@ -217,6 +242,13 @@ class ExperimentRunner:
         self.cache_dir = cache_dir
         self.verbose = verbose
         self.checkpoint_period_ns = checkpoint_period_ns
+        self.trace_paths = dict(trace_paths) if trace_paths else {}
+        # Content fingerprint per external trace, folded into cache names:
+        # an edited trace file can never serve a stale cached summary.
+        self._trace_fps = {
+            name: _file_fingerprint(path)
+            for name, path in self.trace_paths.items()
+        }
         self.config_hash = config_hash(self.config)
         # "memo" | "disk" | "simulated" | "resumed" (last run())
         self.last_outcome = ""
@@ -230,10 +262,25 @@ class ExperimentRunner:
         key = (bench, seed, perfect)
         if key not in self._traces:
             if self.kind == "synthetic":
-                profile = ALL_PROFILES[bench]
+                try:
+                    profile = ALL_PROFILES[bench]
+                except KeyError:
+                    raise ValueError(
+                        f"benchmark {bench!r} has no synthetic profile; "
+                        "run it with kind='algorithmic'"
+                    ) from None
                 t = synthetic_trace(
                     profile, self.config, seed=seed, scale=self.scale.factor
                 )
+            elif self.kind == "trace":
+                try:
+                    path = self.trace_paths[bench]
+                except KeyError:
+                    raise ValueError(
+                        f"no trace file registered for {bench!r}; known: "
+                        f"{sorted(self.trace_paths)}"
+                    ) from None
+                t = load_trace_file(path)
             else:
                 t = build_benchmark(bench, self.config, self.scale, seed=seed)
             if perfect:
@@ -247,9 +294,13 @@ class ExperimentRunner:
     def cache_name(
         self, bench: str, scheduler: str, seed: int, perfect: bool = False
     ) -> str:
-        """Cache file name for one run (config identity via content hash)."""
+        """Cache file name for one run (config identity via content hash;
+        external traces also carry their file's content fingerprint)."""
+        bench_key = bench
+        if self.kind == "trace" and bench in self._trace_fps:
+            bench_key = f"{bench}@{self._trace_fps[bench]}"
         return (
-            f"{self.kind}-{bench}-{scheduler}-{self.scale.name}"
+            f"{self.kind}-{bench_key}-{scheduler}-{self.scale.name}"
             f"-s{seed}-p{int(perfect)}-{self.config_hash}.json"
         )
 

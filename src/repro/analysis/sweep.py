@@ -13,7 +13,11 @@ process pool and makes the sweep safe to run at scale:
 * **resume manifest** — every completion is appended to a manifest JSON
   in the cache directory; ``resume=True`` skips jobs the manifest marks
   done (whose cache entry still exists), so an interrupted sweep picks
-  up exactly where it died with zero re-simulation;
+  up exactly where it died with zero re-simulation.  Rows for jobs that
+  are no longer in the grid (the grid was edited, the config changed)
+  are reconciled on every sweep: still cache-backed rows are marked
+  ``stale`` (they become live again if the grid returns), dead rows are
+  pruned — orphans cannot accumulate across grid edits;
 * **atomic cache writes** — workers publish results via temp-file +
   rename (see :func:`repro.analysis.runner.atomic_write_json`), so
   concurrent workers and readers never see partial JSON;
@@ -126,6 +130,8 @@ class SweepReport:
         config_hash: str,
         workers: int,
         wall_s: float,
+        scenario_name: str = "",
+        scenario_hash: str = "",
     ) -> None:
         self.results = results
         self.scale = scale
@@ -133,6 +139,10 @@ class SweepReport:
         self.config_hash = config_hash
         self.workers = workers
         self.wall_s = wall_s
+        # Set when the sweep came from a scenario spec (repro.scenarios):
+        # stamped into the history record so runs group by scenario.
+        self.scenario_name = scenario_name
+        self.scenario_hash = scenario_hash
 
     def _count(self, status: str) -> int:
         return sum(1 for r in self.results if r.status == status)
@@ -185,6 +195,8 @@ class SweepReport:
             "scale": self.scale,
             "kind": self.kind,
             "config_hash": self.config_hash,
+            "scenario_name": self.scenario_name,
+            "scenario_hash": self.scenario_hash,
             "workers": self.workers,
             "wall_s": round(self.wall_s, 4),
             "jobs_total": len(self.results),
@@ -246,6 +258,56 @@ def _save_manifest(cache_dir: str, jobs: dict, name: str = MANIFEST_NAME) -> Non
     )
 
 
+def _cache_file_for(cache_dir: str, job_id: str) -> Optional[str]:
+    """Cache path a manifest row's summary lives at, derived from its id.
+
+    Returns None when the path cannot be derived (malformed id, or a
+    ``trace``-kind row whose cache name carries a content fingerprint the
+    id does not) — callers must then keep the row rather than prune it.
+    """
+    parts = job_id.split("/")
+    if len(parts) != 7 or parts[0] == "trace":
+        return None
+    return os.path.join(cache_dir, "-".join(parts) + ".json")
+
+
+def _reconcile_manifest(
+    cache_dir: str, manifest: dict, grid_ids: set[str]
+) -> tuple[dict, int, int, bool]:
+    """Drop or stale-mark manifest rows that are not in the current grid.
+
+    A row whose job is no longer swept but whose cache entry survives is
+    marked ``stale: true`` (it turns live again the moment its job
+    reappears); a row whose cache entry is gone too is pruned outright.
+    Rows in the grid get any old ``stale`` mark cleared.  Returns
+    ``(manifest, n_pruned, n_marked_stale, changed)``.
+    """
+    out: dict = {}
+    n_pruned = n_marked = 0
+    changed = False
+    for job_id, entry in manifest.items():
+        if not isinstance(entry, dict):
+            changed = True  # malformed row: prune
+            n_pruned += 1
+            continue
+        if job_id in grid_ids:
+            if entry.pop("stale", None):
+                changed = True
+            out[job_id] = entry
+            continue
+        cache_file = _cache_file_for(cache_dir, job_id)
+        if cache_file is None or os.path.exists(cache_file):
+            if not entry.get("stale"):
+                entry = {**entry, "stale": True}
+                n_marked += 1
+                changed = True
+            out[job_id] = entry
+        else:
+            n_pruned += 1
+            changed = True
+    return out, n_pruned, n_marked, changed
+
+
 # ----------------------------------------------------------------------
 # sweep driver
 # ----------------------------------------------------------------------
@@ -262,6 +324,8 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     manifest_name: str = MANIFEST_NAME,
     history: bool = True,
+    scenario_name: str = "",
+    scenario_hash: str = "",
 ) -> SweepReport:
     """Run the (benchmark x scheduler x seed) grid; returns a report.
 
@@ -295,7 +359,19 @@ def run_sweep(
                     seen.add(job.job_id)
                     jobs.append(job)
 
+    say = progress if progress is not None else (lambda _msg: None)
+
     manifest = load_manifest(runner.cache_dir, manifest_name)
+    manifest, n_pruned, n_marked, changed = _reconcile_manifest(
+        runner.cache_dir, manifest, seen
+    )
+    if changed:
+        _save_manifest(runner.cache_dir, manifest, manifest_name)
+    if n_pruned or n_marked:
+        say(
+            f"[sweep] manifest: {n_pruned} orphaned row(s) pruned, "
+            f"{n_marked} marked stale (grid changed since last sweep)"
+        )
     results: list[JobResult] = []
     todo: list[SweepJob] = []
     for job in jobs:
@@ -322,7 +398,6 @@ def run_sweep(
         else:
             todo.append(job)
 
-    say = progress if progress is not None else (lambda _msg: None)
     t0 = time.time()
     total = len(jobs)
 
@@ -361,6 +436,7 @@ def run_sweep(
             job.perfect,
             runner.cache_dir,
             runner.checkpoint_period_ns,
+            runner.trace_paths or None,
         )
 
     def fail(
@@ -397,6 +473,8 @@ def run_sweep(
         config_hash=runner.config_hash,
         workers=workers,
         wall_s=time.time() - t0,
+        scenario_name=scenario_name,
+        scenario_hash=scenario_hash,
     )
     say(report.format())
     if history:

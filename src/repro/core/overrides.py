@@ -1,0 +1,163 @@
+"""Dotted-path overrides over the frozen :class:`SimConfig` tree.
+
+One override addresses one leaf field by its dotted path — any depth, so
+``use_l1``, ``dram_timing.tras_ns`` and ``gpu.l1.size_bytes`` are all
+valid.  All overrides are applied in a *single* bottom-up rebuild (one
+:func:`dataclasses.replace` per touched node), so sibling edits validate
+together: lowering both write watermarks at once cannot trip the
+``low < high`` check on a half-applied intermediate.  The rebuild re-runs
+every ``__post_init__`` and therefore :meth:`SimConfig.validate` — an
+override can never produce a config the constructor would have rejected.
+
+Shared by the CLI's ``--set section.field=value`` flags and the scenario
+spec's ``overrides:`` mapping (:mod:`repro.scenarios`), so both report
+the same field-tree errors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.core.config import SimConfig
+
+__all__ = [
+    "OverrideError",
+    "apply_override",
+    "apply_overrides",
+    "field_paths",
+    "parse_assignment",
+    "parse_value",
+]
+
+
+class OverrideError(ValueError):
+    """An override names an unknown/non-leaf field (bad *path*, as opposed
+    to a bad *value*, which surfaces as the config tree's own errors)."""
+
+
+def parse_value(raw: str) -> object:
+    """``"true"``/``"false"`` -> bool, then int, then float, else str."""
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def parse_assignment(item: str) -> tuple[str, object]:
+    """Split one ``field=value`` argument into ``(dotted_key, value)``."""
+    key, sep, raw = item.partition("=")
+    if not sep or not key:
+        raise OverrideError(
+            f"expected an assignment like section.field=value, got {item!r}"
+        )
+    return key, parse_value(raw)
+
+
+def field_paths(config: SimConfig | None = None) -> list[str]:
+    """Every settable dotted leaf path of the config tree, sorted."""
+    cfg = config if config is not None else SimConfig()
+    out: list[str] = []
+
+    def walk(obj, prefix: str) -> None:
+        for f in dataclasses.fields(obj):
+            value = getattr(obj, f.name)
+            if dataclasses.is_dataclass(value):
+                walk(value, f"{prefix}{f.name}.")
+            else:
+                out.append(f"{prefix}{f.name}")
+
+    walk(cfg, "")
+    return sorted(out)
+
+
+def _options(obj, prefix: str) -> str:
+    """One-line menu of the fields available at this node."""
+    names = []
+    for f in dataclasses.fields(obj):
+        sub = dataclasses.is_dataclass(getattr(obj, f.name))
+        names.append(f.name + (".*" if sub else ""))
+    where = f"under {prefix.rstrip('.')!r}" if prefix else "at the top level"
+    return f"valid fields {where}: {', '.join(sorted(names))}"
+
+
+def apply_overrides(
+    cfg: SimConfig, overrides: Mapping[str, object]
+) -> SimConfig:
+    """Return a copy of ``cfg`` with every ``{dotted_path: value}`` applied.
+
+    Raises :class:`OverrideError` for a bad path; value errors (a string
+    where a float belongs, a physically inconsistent timing) propagate
+    from the dataclass constructors unchanged.
+    """
+    # Fold the flat dotted keys into a tree of per-node assignments.
+    tree: dict = {}
+    for dotted in sorted(overrides):
+        parts = dotted.split(".")
+        if not all(parts):
+            raise OverrideError(f"malformed config field path {dotted!r}")
+        node = tree
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise OverrideError(
+                    f"conflicting overrides: {dotted!r} descends into a "
+                    "field another override sets directly"
+                )
+        node[parts[-1]] = (dotted, overrides[dotted])
+
+    def rebuild(obj, subtree: dict, prefix: str):
+        names = {f.name for f in dataclasses.fields(obj)}
+        kwargs = {}
+        for name, entry in subtree.items():
+            if name not in names:
+                dotted = _first_path(entry, f"{prefix}{name}")
+                if hasattr(obj, name):
+                    raise OverrideError(
+                        f"config field {dotted!r} is derived/read-only; set "
+                        f"the underlying *_ns/*_ck fields instead "
+                        f"({_options(obj, prefix)})"
+                    )
+                raise OverrideError(
+                    f"unknown config field {dotted!r} ({_options(obj, prefix)})"
+                )
+            current = getattr(obj, name)
+            if isinstance(entry, dict):
+                if not dataclasses.is_dataclass(current):
+                    dotted = _first_path(entry, f"{prefix}{name}")
+                    raise OverrideError(
+                        f"config field {prefix + name!r} is a value, not a "
+                        f"section: {dotted!r} goes one level too deep"
+                    )
+                kwargs[name] = rebuild(current, entry, f"{prefix}{name}.")
+            else:
+                dotted, value = entry
+                if dataclasses.is_dataclass(current):
+                    raise OverrideError(
+                        f"{dotted!r} names a whole section; set one of its "
+                        f"leaves ({_options(current, prefix + name + '.')})"
+                    )
+                kwargs[name] = value
+        return dataclasses.replace(obj, **kwargs)
+
+    return rebuild(cfg, tree, "")
+
+
+def _first_path(entry, fallback: str) -> str:
+    """Recover a representative user-supplied dotted path from a subtree."""
+    while isinstance(entry, dict):
+        if not entry:
+            return fallback
+        entry = next(iter(entry.values()))
+    return entry[0]
+
+
+def apply_override(cfg: SimConfig, dotted: str, value: object) -> SimConfig:
+    """Single-override convenience wrapper over :func:`apply_overrides`."""
+    return apply_overrides(cfg, {dotted: value})

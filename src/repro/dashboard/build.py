@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 from repro.dashboard.figures import (
     accuracy_figure,
     fuzz_figure,
+    scenario_matrix_figure,
     scheduler_matrix_figure,
     trajectory_figure,
 )
@@ -104,12 +105,16 @@ def build_dashboard(
         warnings.simplefilter("always")
         bench = store.records("bench")
         fuzz = store.records("fuzz")
+        sweeps = store.records("sweep")
         skipped = sorted({str(w.message) for w in caught})
 
         figures = [
             trajectory_figure(bench),
             scheduler_matrix_figure(bench[-1] if bench else None),
             accuracy_figure(accuracy),
+            # Not in REQUIRED_FIGURES: a history without scenario-stamped
+            # sweeps is normal (scenarios are opt-in).
+            scenario_matrix_figure(sweeps),
             fuzz_figure(fuzz),
         ]
 

@@ -23,6 +23,7 @@ from repro.dashboard.svg import (
 __all__ = [
     "accuracy_figure",
     "fuzz_figure",
+    "scenario_matrix_figure",
     "scheduler_matrix_figure",
     "trajectory_figure",
 ]
@@ -372,5 +373,96 @@ def fuzz_figure(fuzz_records: Sequence) -> Figure:
         fig.note = (
             f"✗ {total_fail} oracle failure(s) across "
             f"{len(records)} campaign(s) — artifacts under results/fuzz/"
+        )
+    return fig
+
+
+# ----------------------------------------------------------------------
+# 5. scenario comparison matrix
+# ----------------------------------------------------------------------
+def scenario_matrix_figure(sweep_records: Sequence) -> Figure:
+    """Sweep runs grouped by scenario: one row per declarative spec.
+
+    Sweeps launched through ``repro scenario run`` / ``sweep --spec``
+    stamp their scenario name and spec hash into the history payload
+    (docs/scenarios.md); this view compares the latest run of each
+    scenario — grid size, failures, cache reuse, simulation throughput —
+    and flags a scenario whose spec hash changed since its previous run
+    (same name, different resolved experiment).
+    """
+    fig = Figure(
+        figure_id="scenarios",
+        title="Scenario runs",
+        subtitle=(
+            "Latest sweep per declarative scenario spec (scenarios/), "
+            "grouped by the scenario name stamped into the history"
+        ),
+    )
+    by_name: dict[str, list] = {}
+    for r in sweep_records:
+        if not isinstance(r.payload, dict):
+            continue
+        name = r.payload.get("scenario_name") or ""
+        if name:
+            by_name.setdefault(name, []).append(r)
+
+    if not by_name:
+        fig.empty = True
+        fig.empty_reason = (
+            "no scenario-stamped sweeps in the history — run "
+            "`python -m repro scenario run scenarios/<spec>.yaml`"
+        )
+        return fig
+
+    labels, done_vals, cached_vals, tips_d, tips_c, rows = [], [], [], [], [], []
+    respecced = []
+    for name in sorted(by_name):
+        runs = by_name[name]
+        latest = runs[-1]
+        p = latest.payload
+        spec_hash = p.get("scenario_hash") or "-"
+        prev_hashes = {
+            r.payload.get("scenario_hash") for r in runs[:-1]
+        } - {None, spec_hash}
+        if prev_hashes:
+            respecced.append(name)
+        done = int(p.get("jobs_done") or 0)
+        total = int(p.get("jobs_total") or 0)
+        failed = int(p.get("jobs_failed") or 0)
+        cached = int(p.get("jobs_cached") or 0) + int(p.get("jobs_skipped") or 0)
+        eps = float(p.get("events_per_sec") or 0.0)
+        labels.append(name)
+        done_vals.append(done)
+        cached_vals.append(cached)
+        status = "✓" if not failed else f"✗ {failed} failed"
+        tip = (
+            f"{latest.record_id} ({_short_sha(latest.git_sha)}, "
+            f"{latest.created_utc}): {done}/{total} jobs, {cached} from "
+            f"cache, spec {spec_hash} {status}"
+        )
+        tips_d.append(tip)
+        tips_c.append(tip)
+        rows.append([
+            name, spec_hash, latest.record_id, p.get("scale", "-"),
+            f"{done}/{total}", cached, failed,
+            f"{eps / 1000.0:.0f}k" if eps else "-", len(runs),
+        ])
+
+    fig.svg = grouped_hbar_svg(
+        labels,
+        {"jobs done": done_vals, "from cache": cached_vals},
+        value_label="jobs (latest run)",
+        tooltips={"jobs done": tips_d, "from cache": tips_c},
+    )
+    fig.legend_html = legend_html(["jobs done", "from cache"])
+    fig.table_html = data_table(
+        ["scenario", "spec", "record", "scale", "done", "cached",
+         "failed", "events/s", "runs"],
+        rows,
+    )
+    if respecced:
+        fig.note = (
+            "spec hash changed since the previous run for: "
+            + ", ".join(sorted(respecced))
         )
     return fig

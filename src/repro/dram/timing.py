@@ -1,16 +1,35 @@
-"""Timing presets for the DRAM model.
+"""Timing/organization presets for the DRAM model.
 
 ``GDDR5_TIMING`` matches Table II of the paper (Hynix H5GQ1H24AFR-class
 part).  ``DDR3_TIMING`` is provided for ablations: it has fewer banks'
 worth of headroom (higher tFAW, no bank-group advantage) and demonstrates
-why the paper's MERB table is technology-specific.
+why the paper's MERB table is technology-specific.  ``GDDR6`` and
+``HBM2`` extend the ablation axis toward modern parts: GDDR6 doubles the
+command clock with a deeper bank-group penalty, HBM2 trades per-pin speed
+for wide, many-channel stacks with small rows.
+
+Every preset is addressable by name through :data:`DRAM_PRESETS` /
+:func:`get_preset`, which is how scenario specs (:mod:`repro.scenarios`)
+select a device; the per-preset timing legality is pinned by
+``tests/test_timing_presets.py``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.config import DRAMOrgConfig, DRAMTimingConfig
 
-__all__ = ["GDDR5_TIMING", "DDR3_TIMING", "GDDR5_ORG", "ddr3_org"]
+__all__ = [
+    "DRAM_PRESETS",
+    "DRAMPreset",
+    "GDDR5_TIMING",
+    "DDR3_TIMING",
+    "GDDR5_ORG",
+    "ddr3_org",
+    "get_preset",
+    "preset_names",
+]
 
 GDDR5_TIMING = DRAMTimingConfig()  # defaults are the paper's Table II values
 
@@ -33,7 +52,62 @@ DDR3_TIMING = DRAMTimingConfig(
     tccds_ck=4,
 )
 
+GDDR6_TIMING = DRAMTimingConfig(
+    tck_ns=0.5,  # 2 GHz command clock (16 Gb/s-class pin rate)
+    trc_ns=45.0,
+    trcd_ns=14.0,
+    trp_ns=14.0,
+    tcas_ns=14.0,
+    tras_ns=31.0,
+    trrd_ns=5.0,
+    twtr_ns=5.0,
+    tfaw_ns=22.0,
+    trtp_ns=2.0,
+    twr_ns=14.0,
+    twl_ck=6,
+    tburst_ck=2,
+    trtrs_ck=1,
+    tccdl_ck=4,  # deeper same-group penalty than GDDR5 at the faster clock
+    tccds_ck=2,
+)
+
+HBM2_TIMING = DRAMTimingConfig(
+    tck_ns=1.0,  # 1 GHz command clock (2 Gb/s pins, very wide channels)
+    trc_ns=47.0,
+    trcd_ns=14.0,
+    trp_ns=14.0,
+    tcas_ns=14.0,
+    tras_ns=33.0,
+    trrd_ns=4.0,
+    twtr_ns=8.0,
+    tfaw_ns=16.0,  # pseudo-channel stacks relax the activate window
+    trtp_ns=3.0,
+    twr_ns=16.0,
+    twl_ck=7,
+    tburst_ck=2,
+    trtrs_ck=1,
+    tccdl_ck=2,  # bank groups cost little on the slow command clock
+    tccds_ck=1,
+)
+
 GDDR5_ORG = DRAMOrgConfig()  # 6 channels, 16 banks, 4 banks/group
+
+GDDR6_ORG = DRAMOrgConfig(
+    num_channels=6,
+    banks_per_channel=16,
+    banks_per_group=4,
+    row_size_bytes=2048,
+)
+
+HBM2_ORG = DRAMOrgConfig(
+    num_channels=8,  # one stack's worth of pseudo-channels
+    banks_per_channel=16,
+    banks_per_group=4,
+    row_size_bytes=1024,  # small rows: less overfetch, weaker row locality
+    # A 128-bit HBM2 pseudo-channel at BL4 moves 32B per burst; a 128B
+    # line needs four back-to-back bursts.
+    bytes_per_burst=32,
+)
 
 
 def ddr3_org(num_channels: int = 6) -> DRAMOrgConfig:
@@ -43,3 +117,57 @@ def ddr3_org(num_channels: int = 6) -> DRAMOrgConfig:
         banks_per_channel=8,
         banks_per_group=8,
     )
+
+
+@dataclass(frozen=True)
+class DRAMPreset:
+    """A named (timing, organization) pair a scenario spec can select."""
+
+    name: str
+    description: str
+    timing: DRAMTimingConfig
+    org: DRAMOrgConfig
+
+
+DRAM_PRESETS: dict[str, DRAMPreset] = {
+    p.name: p
+    for p in (
+        DRAMPreset(
+            "gddr5",
+            "Paper Table II: six 64-bit GDDR5 channels (default config)",
+            GDDR5_TIMING,
+            GDDR5_ORG,
+        ),
+        DRAMPreset(
+            "ddr3",
+            "DDR3-1600 ablation: 8 banks, no bank groups, long tFAW",
+            DDR3_TIMING,
+            ddr3_org(),
+        ),
+        DRAMPreset(
+            "gddr6",
+            "GDDR6-class part: 2 GHz command clock, deeper tCCDL",
+            GDDR6_TIMING,
+            GDDR6_ORG,
+        ),
+        DRAMPreset(
+            "hbm2",
+            "HBM2 stack: 8 pseudo-channels, 1KB rows, short tFAW",
+            HBM2_TIMING,
+            HBM2_ORG,
+        ),
+    )
+}
+
+
+def preset_names() -> tuple[str, ...]:
+    return tuple(sorted(DRAM_PRESETS))
+
+
+def get_preset(name: str) -> DRAMPreset:
+    try:
+        return DRAM_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown DRAM preset {name!r}; choose from {sorted(DRAM_PRESETS)}"
+        ) from None

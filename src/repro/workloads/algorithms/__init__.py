@@ -9,6 +9,10 @@ from repro.workloads.algorithms.graphs import (
 )
 from repro.workloads.algorithms.mapreduce import pvc_trace, ss_trace
 from repro.workloads.algorithms.media import nw_trace, sad_trace
+from repro.workloads.algorithms.modern import (
+    embedding_gather_trace,
+    graph_sample_trace,
+)
 from repro.workloads.algorithms.regular import (
     index_scan_trace,
     stencil_trace,
@@ -20,6 +24,8 @@ __all__ = [
     "bfs_trace",
     "bh_trace",
     "cfd_trace",
+    "embedding_gather_trace",
+    "graph_sample_trace",
     "index_scan_trace",
     "kmeans_trace",
     "nw_trace",

@@ -1,0 +1,148 @@
+"""Modern irregular workloads beyond the paper's Table III.
+
+The paper predates the deep-learning recommendation and GNN kernels that
+dominate today's irregular GPU traffic; these two generators extend the
+suite with their memory signatures so the scenario library
+(``scenarios/``) can evaluate the warp-aware schedulers on them:
+
+``embedding_gather_trace`` — DLRM-style embedding-bag lookup
+(SparseLengthsSum): each lane owns one sample and walks its pooled
+lookup indices, so every pooling step gathers 32 Zipf-distributed rows
+from a table far larger than the caches.  Hot rows give some intra-warp
+row-buffer locality; the cold tail gives the latency divergence.
+
+``graph_sample_trace`` — GraphSAGE-style neighborhood sampling: each
+lane expands one seed vertex through a two-level fanout over a CSR
+graph (row-pointer gathers, then scattered column reads), the access
+pattern of GNN mini-batch samplers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SimConfig
+from repro.workloads.algorithms.graphs import random_csr
+from repro.workloads.builder import Layout, TraceBuilder
+from repro.workloads.trace import KernelTrace
+
+__all__ = ["embedding_gather_trace", "graph_sample_trace"]
+
+
+def _zipf_rows(rng: np.random.Generator, n_rows: int, size: int, a: float) -> np.ndarray:
+    """Zipf-distributed row ids folded into [0, n_rows): recommendation
+    embedding accesses are famously skewed toward a small hot set."""
+    raw = rng.zipf(a, size=size)
+    return (raw - 1) % n_rows
+
+
+def embedding_gather_trace(
+    config: SimConfig,
+    n_rows: int = 400_000,
+    emb_dim: int = 32,
+    pooling: int = 12,
+    n_tables: int = 4,
+    zipf_a: float = 1.2,
+    seed: int = 41,
+    max_warps: int = 1300,
+) -> KernelTrace:
+    """Embedding-table gather with per-bag pooling (DLRM SparseLengthsSum).
+
+    One warp processes 32 bags of one table; each pooling step gathers
+    the first element of 32 different embedding rows (``emb_dim`` 4B
+    elements apart, i.e. one 128B line per row at the default dim).
+    """
+    rng = np.random.default_rng(seed)
+    lay = Layout()
+    a_tables = [
+        lay.alloc(f"table{t}", n_rows * emb_dim) for t in range(n_tables)
+    ]
+    n_bags = max_warps * 32
+    a_ids = lay.alloc("ids", n_bags * pooling)
+    a_out = lay.alloc("out", n_bags * emb_dim)
+
+    tb = TraceBuilder("embgather", config.gpu.num_sms, config.gpu.warp_size)
+    # Per-bag pooling lengths: variable, like real request batches.
+    lengths = np.clip(
+        rng.poisson(pooling * 0.75, size=n_bags), 1, pooling
+    ).astype(np.int64)
+    bag = 0
+    while bag < n_bags and tb.num_warps < max_warps:
+        bags = np.arange(bag, min(bag + 32, n_bags))
+        table = a_tables[(bag // 32) % n_tables]
+        wb = tb.new_warp()
+        # Coalesced read of this warp's first lookup-id block.
+        wb.compute(4).load_stream(a_ids, int(bags[0]) * pooling)
+        deg = lengths[bags]
+        for k in range(int(deg.max(initial=0))):
+            active = deg > k
+            if not active.any():
+                break
+            rows = _zipf_rows(rng, n_rows, len(bags), zipf_a)
+            # 32 scattered table rows, one per lane: the MAI source.
+            wb.compute(2).load_gather(
+                table,
+                [
+                    int(r) * emb_dim if a else None
+                    for r, a in zip(rows, active)
+                ],
+            )
+        # One pooled vector per bag: lanes write emb_dim elements apart.
+        wb.compute(8).store_gather(a_out, (bags * emb_dim).tolist())
+        bag += 32
+    return tb.build()
+
+
+def graph_sample_trace(
+    config: SimConfig,
+    n_vertices: int = 200_000,
+    avg_degree: float = 12.0,
+    fanout: tuple[int, int] = (8, 4),
+    seed: int = 43,
+    max_warps: int = 1300,
+) -> KernelTrace:
+    """Two-hop neighborhood sampling over a CSR graph (GraphSAGE-style).
+
+    Lanes own seed vertices drawn uniformly (a shuffled mini-batch, so
+    even the row-pointer reads are gathers); each hop samples ``fanout``
+    neighbors per frontier vertex via scattered column-array reads.
+    """
+    rng = np.random.default_rng(seed)
+    row_ptr, col = random_csr(n_vertices, avg_degree, rng, locality=0.25)
+    m = len(col)
+    lay = Layout()
+    a_rowptr = lay.alloc("row_ptr", n_vertices + 1)
+    a_col = lay.alloc("col", m)
+    a_seeds = lay.alloc("seeds", max_warps * 32)
+    a_out = lay.alloc("sampled", max_warps * 32 * (fanout[0] * (1 + fanout[1])))
+
+    tb = TraceBuilder("graphsample", config.gpu.num_sms, config.gpu.warp_size)
+    out_cursor = 0
+    for base in range(0, max_warps * 32, 32):
+        if tb.num_warps >= max_warps:
+            break
+        seeds = rng.integers(0, n_vertices, size=32)
+        wb = tb.new_warp()
+        wb.compute(4).load_stream(a_seeds, base)
+        # Hop 1: row_ptr[v] and row_ptr[v+1] for shuffled seeds — gathers.
+        wb.compute(1).load_gather(a_rowptr, seeds.tolist())
+        wb.load_gather(a_rowptr, (seeds + 1).tolist())
+        deg1 = np.maximum(row_ptr[seeds + 1] - row_ptr[seeds], 1)
+        for r in range(fanout[0]):
+            # One sampled neighbor per lane per round: scattered col reads.
+            off = rng.integers(0, 1 << 30, size=32) % deg1
+            eidx = np.minimum(row_ptr[seeds] + off, m - 1)
+            wb.compute(2).load_gather(a_col, eidx.tolist())
+            hop1 = col[eidx]
+            # Hop 2: expand this round's frontier by fanout[1].
+            wb.compute(1).load_gather(a_rowptr, hop1.tolist())
+            wb.load_gather(a_rowptr, (hop1 + 1).tolist())
+            deg2 = np.maximum(row_ptr[hop1 + 1] - row_ptr[hop1], 1)
+            for _ in range(fanout[1]):
+                off2 = rng.integers(0, 1 << 30, size=32) % deg2
+                eidx2 = np.minimum(row_ptr[hop1] + off2, m - 1)
+                wb.compute(2).load_gather(a_col, eidx2.tolist())
+        wb.compute(6)
+        wb.store_stream(a_out, out_cursor)
+        out_cursor += 32
+    return tb.build()

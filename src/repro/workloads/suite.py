@@ -23,6 +23,8 @@ from repro.workloads.algorithms import (
     bfs_trace,
     bh_trace,
     cfd_trace,
+    embedding_gather_trace,
+    graph_sample_trace,
     index_scan_trace,
     kmeans_trace,
     nw_trace,
@@ -41,6 +43,7 @@ __all__ = [
     "Scale",
     "IRREGULAR_SUITE",
     "REGULAR_SUITE",
+    "MODERN_SUITE",
     "build_benchmark",
     "benchmark_names",
 ]
@@ -121,7 +124,20 @@ REGULAR_SUITE: dict[str, Builder] = {
     ),
 }
 
-_ALL = {**IRREGULAR_SUITE, **REGULAR_SUITE}
+# Modern irregular workloads beyond the paper's Table III (algorithmic
+# kind only — no synthetic profile): recommendation embedding-bag gather
+# and GNN neighborhood sampling, for the scenario library's device ×
+# workload sweeps (docs/scenarios.md).
+MODERN_SUITE: dict[str, Builder] = {
+    "embgather": lambda c, f, s: embedding_gather_trace(
+        c, seed=s, max_warps=_s(1300, f)
+    ),
+    "graphsample": lambda c, f, s: graph_sample_trace(
+        c, seed=s, max_warps=_s(1200, f)
+    ),
+}
+
+_ALL = {**IRREGULAR_SUITE, **REGULAR_SUITE, **MODERN_SUITE}
 
 
 def benchmark_names(irregular_only: bool = False) -> tuple[str, ...]:

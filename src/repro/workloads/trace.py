@@ -7,19 +7,43 @@ This is exactly the information the paper's mechanisms consume — request
 addresses, their warp of origin, and the compute spacing that determines
 how much latency the SM's multithreading can hide.
 
-Traces can be persisted to ``.npz`` archives for reuse across experiment
-runs (addresses and segment shapes are flattened into numpy arrays).
+Traces can be persisted two ways:
+
+* ``.npz`` archives (:meth:`KernelTrace.save` / :meth:`KernelTrace.load`)
+  — compact numpy arrays, the internal cache format;
+* JSON documents (:meth:`KernelTrace.save_json` /
+  :meth:`KernelTrace.load_json`) — the *ingestion* format: any external
+  tracer that can emit per-warp segment lists can produce one and replay
+  it through the simulator (``kind: trace`` in a scenario spec, see
+  docs/scenarios.md).  The two round-trip losslessly through
+  :meth:`KernelTrace.to_json_dict` / :meth:`KernelTrace.from_json_dict`.
+
+:func:`load_trace_file` dispatches on extension (``.json`` vs npz).
 """
 
 from __future__ import annotations
 
+import json
 import zipfile
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["MemOp", "Segment", "WarpTrace", "KernelTrace", "TraceFormatError"]
+__all__ = [
+    "MemOp",
+    "Segment",
+    "WarpTrace",
+    "KernelTrace",
+    "TraceFormatError",
+    "TRACE_JSON_FORMAT",
+    "TRACE_JSON_VERSION",
+    "load_trace_file",
+]
+
+#: Self-identification of the JSON trace interchange format.
+TRACE_JSON_FORMAT = "repro-kernel-trace"
+TRACE_JSON_VERSION = 1
 
 
 class TraceFormatError(ValueError):
@@ -196,3 +220,134 @@ class KernelTrace:
                 segments.append(Segment(compute_cycles=int(compute), mem=mem))
             warps.append(WarpTrace(int(sm_id), int(warp_id), segments))
         return cls(name=name, warps=warps)
+
+    # ------------------------------------------------------------------
+    # JSON interchange (external trace ingestion)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Plain-JSON form: each segment is ``[compute]`` (no memory op) or
+        ``[compute, is_write, [lane addresses, null = masked]]``."""
+        warps = []
+        for w in self.warps:
+            segments: list[list] = []
+            for s in w.segments:
+                if s.mem is None:
+                    segments.append([s.compute_cycles])
+                else:
+                    segments.append(
+                        [s.compute_cycles, int(s.mem.is_write), s.mem.lane_addrs]
+                    )
+            warps.append(
+                {"sm": w.sm_id, "warp": w.warp_id, "segments": segments}
+            )
+        return {
+            "format": TRACE_JSON_FORMAT,
+            "version": TRACE_JSON_VERSION,
+            "name": self.name,
+            "warps": warps,
+        }
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json_dict(), fh, indent=1)
+            fh.write("\n")
+
+    @classmethod
+    def from_json_dict(cls, doc, source: str = "<json>") -> "KernelTrace":
+        """Validating inverse of :meth:`to_json_dict`; raises
+        :class:`TraceFormatError` naming ``source`` and the bad element."""
+
+        def bad(detail: str) -> TraceFormatError:
+            return TraceFormatError(f"{source}: {detail}")
+
+        if not isinstance(doc, dict):
+            raise bad("top level must be a JSON object")
+        if doc.get("format") != TRACE_JSON_FORMAT:
+            raise bad(
+                f"'format' is {doc.get('format')!r}, "
+                f"expected {TRACE_JSON_FORMAT!r}"
+            )
+        if doc.get("version") != TRACE_JSON_VERSION:
+            raise bad(
+                f"unsupported trace version {doc.get('version')!r} "
+                f"(this build reads version {TRACE_JSON_VERSION})"
+            )
+        name = doc.get("name")
+        if not isinstance(name, str) or not name:
+            raise bad("'name' must be a non-empty string")
+        raw_warps = doc.get("warps")
+        if not isinstance(raw_warps, list) or not raw_warps:
+            raise bad("'warps' must be a non-empty list")
+        warps: list[WarpTrace] = []
+        for wi, rw in enumerate(raw_warps):
+            if not isinstance(rw, dict):
+                raise bad(f"warps[{wi}] must be an object")
+            sm_id, warp_id = rw.get("sm"), rw.get("warp")
+            for label, v in (("sm", sm_id), ("warp", warp_id)):
+                if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                    raise bad(
+                        f"warps[{wi}].{label} must be a non-negative "
+                        f"integer, got {v!r}"
+                    )
+            raw_segs = rw.get("segments")
+            if not isinstance(raw_segs, list):
+                raise bad(f"warps[{wi}].segments must be a list")
+            segments: list[Segment] = []
+            for si, rs in enumerate(raw_segs):
+                where = f"warps[{wi}].segments[{si}]"
+                if not isinstance(rs, list) or len(rs) not in (1, 3):
+                    raise bad(
+                        f"{where} must be [compute] or "
+                        "[compute, is_write, lanes]"
+                    )
+                compute = rs[0]
+                if not isinstance(compute, int) or isinstance(compute, bool) or compute < 0:
+                    raise bad(
+                        f"{where}: compute cycles must be a non-negative "
+                        f"integer, got {compute!r}"
+                    )
+                mem = None
+                if len(rs) == 3:
+                    is_write, lanes = rs[1], rs[2]
+                    if is_write not in (0, 1, True, False):
+                        raise bad(
+                            f"{where}: is_write must be 0/1, got {is_write!r}"
+                        )
+                    if not isinstance(lanes, list) or not lanes:
+                        raise bad(f"{where}: lanes must be a non-empty list")
+                    addrs: list[Optional[int]] = []
+                    for li, a in enumerate(lanes):
+                        if a is None:
+                            addrs.append(None)
+                        elif isinstance(a, int) and not isinstance(a, bool) and a >= 0:
+                            addrs.append(a)
+                        else:
+                            raise bad(
+                                f"{where}: lane {li} must be a non-negative "
+                                f"integer address or null, got {a!r}"
+                            )
+                    if all(a is None for a in addrs):
+                        raise bad(f"{where}: every lane is masked off")
+                    mem = MemOp(is_write=bool(is_write), lane_addrs=addrs)
+                segments.append(Segment(compute_cycles=compute, mem=mem))
+            warps.append(WarpTrace(sm_id, warp_id, segments))
+        return cls(name=name, warps=warps)
+
+    @classmethod
+    def load_json(cls, path: str) -> "KernelTrace":
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except OSError as exc:
+            raise TraceFormatError(f"{path}: unreadable ({exc})") from exc
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{path}: not valid JSON ({exc})") from exc
+        return cls.from_json_dict(doc, source=path)
+
+
+def load_trace_file(path: str) -> KernelTrace:
+    """Load a persisted trace, dispatching on extension: ``.json`` uses
+    the interchange reader, everything else the npz reader."""
+    if path.endswith(".json"):
+        return KernelTrace.load_json(path)
+    return KernelTrace.load(path)

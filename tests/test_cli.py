@@ -163,3 +163,39 @@ def test_run_set_applies_valid_overrides(capsys):
         "--set", "use_l1=false", "--set", "mc.command_queue_depth=2",
     ]) == 0
     assert "ipc" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "override, fragment",
+    [
+        # Three-level nested paths used to be rejected outright ("at most
+        # one dot"); now they resolve through the whole config tree.
+        ("gpu.l1.nonsense=1", "valid fields under 'gpu.l1'"),
+        ("gpu.l1.size_bytes.extra=1", "goes one level too deep"),
+        ("gpu.l1=8", "names a whole section"),
+        ("dram_timing.tras_ps=30", "derived"),
+    ],
+)
+def test_run_set_nested_path_errors_name_field_tree(override, fragment, capsys):
+    assert main(["run", "sad", "--scale", "tiny", "--set", override]) == 2
+    assert fragment in capsys.readouterr().err
+
+
+def test_run_set_applies_three_level_override(capsys):
+    assert main([
+        "run", "sad", "--scale", "tiny", "--json",
+        "--set", "gpu.l1.size_bytes=32768",
+        "--set", "gpu.l2_slice.ways=16",
+    ]) == 0
+    assert "ipc" in capsys.readouterr().out
+
+
+def test_run_set_sibling_watermarks_validate_together(capsys):
+    """Regression: lowering both watermarks below their old values used
+    to fail transiently when edits were applied one at a time."""
+    assert main([
+        "run", "sad", "--scale", "tiny", "--json",
+        "--set", "mc.write_low_watermark=4",
+        "--set", "mc.write_high_watermark=8",
+    ]) == 0
+    assert "ipc" in capsys.readouterr().out

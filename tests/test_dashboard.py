@@ -337,3 +337,57 @@ def test_cli_accuracy_export(tmp_path, capsys):
     doc = json.loads(out.read_text())
     assert doc["entries"] and doc["kind"] == "accuracy"
     assert "19 paper-vs-measured" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# scenario matrix (sweeps stamped by repro scenario run / sweep --spec)
+# ----------------------------------------------------------------------
+def _sweep_payload(name, spec_hash, *, done=4, cached=0, failed=0):
+    return {
+        "schema_version": 1, "kind": "synthetic", "scale": "TINY",
+        "scenario_name": name, "scenario_hash": spec_hash,
+        "jobs_total": done + failed, "jobs_done": done,
+        "jobs_failed": failed, "jobs_cached": cached, "jobs_skipped": 0,
+        "events_per_sec": 52_000.0,
+        "config_hash": "de61331da800", "jobs": [],
+    }
+
+
+def test_scenario_matrix_renders(store):
+    from repro.dashboard.figures import scenario_matrix_figure
+
+    store.append("sweep", _sweep_payload("fig8-baseline", "aaaaaaaaaaaa"))
+    store.append("sweep", _sweep_payload("ci-tiny", "bbbbbbbbbbbb", cached=2))
+    # Unstamped sweeps (plain `repro sweep`) are ignored, not an error.
+    store.append("sweep", {
+        "schema_version": 1, "jobs_done": 1,
+        "config_hash": "de61331da800", "jobs": [],
+    })
+    fig = scenario_matrix_figure(store.records("sweep"))
+    assert not fig.empty
+    _assert_valid_svg(fig.svg)
+    assert "fig8-baseline" in fig.svg and "ci-tiny" in fig.svg
+    assert fig.table_html.count("<tr>") == 1 + 2  # header + one per scenario
+    assert "aaaaaaaaaaaa" in fig.table_html
+    assert not fig.note  # no spec drift
+
+
+def test_scenario_matrix_flags_spec_hash_drift(store):
+    from repro.dashboard.figures import scenario_matrix_figure
+
+    store.append("sweep", _sweep_payload("fig8-baseline", "aaaaaaaaaaaa"))
+    store.append("sweep", _sweep_payload("fig8-baseline", "cccccccccccc"))
+    fig = scenario_matrix_figure(store.records("sweep"))
+    assert "spec hash changed" in fig.note
+    assert "fig8-baseline" in fig.note
+    # The latest run's hash is the one shown in the table.
+    assert "cccccccccccc" in fig.table_html
+
+
+def test_scenario_matrix_empty(store):
+    from repro.dashboard.figures import scenario_matrix_figure
+
+    fig = scenario_matrix_figure(store.records("sweep"))
+    assert fig.empty and "scenario run" in fig.empty_reason
+    # An empty scenario view must not hollow the build: it is not required.
+    assert "scenarios" not in REQUIRED_FIGURES

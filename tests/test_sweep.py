@@ -218,3 +218,70 @@ def test_pre_run_crash_records_error_type_without_checkpoint(tmp_path, monkeypat
     assert entry["status"] == "failed"
     assert entry["error_type"] == "RuntimeError"
     assert entry["checkpoint"] == ""
+
+
+# ---------------------------------------------------------------------------
+# manifest reconciliation against an edited grid
+# ---------------------------------------------------------------------------
+def test_manifest_marks_orphans_stale_and_revives_them(tmp_path):
+    """Regression: rows for jobs no longer in the grid used to survive in
+    the manifest forever.  A still-cache-backed orphan is now marked
+    ``stale`` and turns live again when its job returns to the grid."""
+    run_sweep(tiny_runner(tmp_path), ["sad"], ["gmc"], workers=0)
+    # Grid edit: gmc dropped, wg added.  The gmc cache entry survives.
+    run_sweep(tiny_runner(tmp_path), ["sad"], ["wg"], workers=0)
+    manifest = load_manifest(str(tmp_path))
+    gmc_id = next(k for k in manifest if "/gmc/" in k)
+    wg_id = next(k for k in manifest if "/wg/" in k)
+    assert manifest[gmc_id]["stale"] is True
+    assert "stale" not in manifest[wg_id]
+    # The job returns: stale cleared, resume skips both without rerunning.
+    report = run_sweep(
+        tiny_runner(tmp_path), ["sad"], ["gmc", "wg"], workers=0, resume=True
+    )
+    assert report.n_skipped == 2 and report.n_simulated == 0
+    manifest = load_manifest(str(tmp_path))
+    assert all("stale" not in e for e in manifest.values())
+
+
+def test_manifest_prunes_orphans_without_cache_backing(tmp_path):
+    """An orphaned row whose cache entry is gone too is pruned outright."""
+    run_sweep(tiny_runner(tmp_path), ["sad"], ["gmc"], workers=0)
+    for p in tmp_path.iterdir():
+        if p.name != MANIFEST_NAME:
+            os.unlink(p)  # cache evicted behind the manifest's back
+    lines = []
+    run_sweep(
+        tiny_runner(tmp_path), ["sad"], ["wg"], workers=0,
+        progress=lines.append,
+    )
+    manifest = load_manifest(str(tmp_path))
+    assert not any("/gmc/" in k for k in manifest)
+    assert any("pruned" in ln for ln in lines)
+
+
+def test_manifest_reconciles_config_change_orphans(tmp_path):
+    """Changing the config re-keys every job id; the old rows are marked
+    stale (their cache entries remain valid for the old config)."""
+    from repro.core.config import SimConfig
+
+    run_sweep(tiny_runner(tmp_path), ["sad"], ["gmc"], workers=0)
+    other = ExperimentRunner(
+        scale=Scale.TINY, seeds=(1,), cache_dir=str(tmp_path),
+        config=SimConfig(use_l1=False),
+    )
+    run_sweep(other, ["sad"], ["gmc"], workers=0)
+    manifest = load_manifest(str(tmp_path))
+    assert len(manifest) == 2
+    stale = [e for e in manifest.values() if e.get("stale")]
+    assert len(stale) == 1  # the old config's row, cache still on disk
+
+
+def test_manifest_prunes_malformed_rows(tmp_path):
+    run_sweep(tiny_runner(tmp_path), ["sad"], ["gmc"], workers=0)
+    path = tmp_path / MANIFEST_NAME
+    doc = json.loads(path.read_text())
+    doc["jobs"]["bogus-row"] = "not a dict"
+    path.write_text(json.dumps(doc))
+    run_sweep(tiny_runner(tmp_path), ["sad"], ["gmc"], workers=0, resume=True)
+    assert "bogus-row" not in load_manifest(str(tmp_path))

@@ -58,3 +58,111 @@ def test_single_channel_throughput_bound():
     assert all(g >= burst for g in gaps)
     # Back-to-back row hits reach full bus occupancy (no extra bubbles).
     assert min(gaps) == burst
+
+
+# ---------------------------------------------------------------------------
+# named preset registry (repro.dram.timing.DRAM_PRESETS)
+# ---------------------------------------------------------------------------
+import pytest
+
+from repro.core.config import SimConfig
+from repro.dram.timing import (
+    DRAM_PRESETS,
+    GDDR6_ORG,
+    GDDR6_TIMING,
+    HBM2_ORG,
+    HBM2_TIMING,
+    get_preset,
+    preset_names,
+)
+
+_NS_FIELDS = (
+    "trc_ns", "trcd_ns", "trp_ns", "tcas_ns", "tras_ns", "trrd_ns",
+    "twtr_ns", "tfaw_ns", "trtp_ns", "twr_ns",
+)
+
+
+def test_preset_registry_contents():
+    assert preset_names() == ("ddr3", "gddr5", "gddr6", "hbm2")
+    for name in preset_names():
+        preset = get_preset(name)
+        assert preset.name == name
+        assert preset.description
+
+
+def test_unknown_preset_names_choices():
+    with pytest.raises(ValueError, match="gddr5"):
+        get_preset("gddr7")
+
+
+def test_gddr5_preset_is_the_default_config():
+    """The gddr5 preset must resolve bit-identically to SimConfig() —
+    scenario specs naming it share the default config's cache entries."""
+    preset = get_preset("gddr5")
+    assert SimConfig(dram_timing=preset.timing, dram_org=preset.org) == SimConfig()
+
+
+@pytest.mark.parametrize("name", ["ddr3", "gddr5", "gddr6", "hbm2"])
+def test_preset_timings_are_legal(name):
+    """Every preset passes the config tree's physical-consistency checks
+    and its ns-domain identities (pinned so edits can't sneak in an
+    unbuildable device)."""
+    preset = get_preset(name)
+    SimConfig(dram_timing=preset.timing, dram_org=preset.org)  # validates
+    t = preset.timing
+    assert t.tras_ns >= t.trcd_ns + t.trtp_ns
+    assert t.trc_ns >= t.tras_ns + t.trp_ns
+    # NOTE: no ps-domain tFAW >= 4*tRRD check — ck rounding legitimately
+    # breaks it (GDDR5: 35ck < 4*9ck); the engine enforces tFAW directly.
+
+
+@pytest.mark.parametrize("name", ["ddr3", "gddr5", "gddr6", "hbm2"])
+def test_preset_derived_ps_are_ck_aligned(name):
+    """All derived picosecond timings are integer multiples of tCK."""
+    t = get_preset(name).timing
+    for field in _NS_FIELDS:
+        ps = getattr(t, field.replace("_ns", "_ps"))
+        assert ps % t.tck_ps == 0, field
+        assert ps >= getattr(t, field) * 1000 - 1e-6, field  # ceil, not floor
+
+
+def test_gddr6_preset_shape():
+    assert GDDR6_TIMING.tck_ns == 0.5  # faster clock than GDDR5
+    assert GDDR6_TIMING.tccdl_ck > GDDR6_TIMING.tccds_ck  # bank groups
+    assert GDDR6_ORG.banks_per_group == 4
+    assert GDDR6_ORG.bursts_per_access == 2
+
+
+def test_hbm2_preset_shape():
+    assert HBM2_ORG.num_channels == 8  # wide, slow stacks
+    assert HBM2_ORG.row_size_bytes == 1024  # small rows
+    assert HBM2_ORG.bytes_per_burst == 32
+    assert HBM2_ORG.bursts_per_access == 4  # 128B line = 4 bursts
+    assert HBM2_TIMING.tck_ns > GDDR6_TIMING.tck_ns
+
+
+@pytest.mark.parametrize("name", ["ddr3", "gddr6", "hbm2"])
+def test_preset_channels_run(name):
+    preset = get_preset(name)
+    org = preset.org
+    ch = Channel(org, preset.timing)
+    t = ch.earliest_act(0, 0)
+    ch.issue_act(0, 3, t)
+    tc = ch.earliest_col(0, False, t)
+    end = ch.issue_col(0, False, tc)
+    assert end > tc > t >= 0
+
+
+@pytest.mark.parametrize("name", ["ddr3", "gddr5", "gddr6", "hbm2"])
+def test_preset_simulation_is_bit_deterministic(name):
+    """Two TINY runs of the same benchmark on one preset are identical."""
+    from repro import simulate
+    from repro.workloads.suite import Scale, build_benchmark
+
+    preset = get_preset(name)
+    cfg = SimConfig(dram_timing=preset.timing, dram_org=preset.org)
+    trace = build_benchmark("sad", cfg, Scale.TINY, seed=3)
+    a = simulate(cfg, trace).summary()
+    b = simulate(cfg, trace).summary()
+    assert a == b
+    assert a["ipc"] > 0

@@ -194,3 +194,103 @@ def test_trace_builder_round_robin_sm_assignment():
 def test_chunk_lanes():
     chunks = chunk_lanes(np.arange(70))
     assert [len(c) for c in chunks] == [32, 32, 6]
+
+
+# ---------------------------------------------------------------------------
+# JSON interchange (export -> ingest round trip)
+# ---------------------------------------------------------------------------
+def _sample_trace() -> KernelTrace:
+    return KernelTrace(
+        "demo",
+        [
+            WarpTrace(0, 0, [
+                Segment(4, MemOp(False, [128 * i for i in range(32)])),
+                Segment(2, MemOp(True, [None] * 31 + [4096])),
+                Segment(7, None),
+            ]),
+            WarpTrace(1, 1, [Segment(1, MemOp(False, [0] * 32))]),
+        ],
+    )
+
+
+def test_json_roundtrip_is_identity(tmp_path):
+    from repro.workloads.trace import load_trace_file
+
+    t = _sample_trace()
+    path = tmp_path / "demo.trace.json"
+    t.save_json(str(path))
+    rt = load_trace_file(str(path))
+    assert rt.name == t.name
+    assert len(rt.warps) == len(t.warps)
+    for a, b in zip(t.warps, rt.warps):
+        assert (a.sm_id, a.warp_id) == (b.sm_id, b.warp_id)
+        assert len(a.segments) == len(b.segments)
+        for sa, sb in zip(a.segments, b.segments):
+            assert sa.compute_cycles == sb.compute_cycles
+            assert (sa.mem is None) == (sb.mem is None)
+            if sa.mem is not None:
+                assert sa.mem.is_write == sb.mem.is_write
+                assert sa.mem.lane_addrs == sb.mem.lane_addrs
+    # ...and the round-trip simulates identically to the npz path.
+    npz = tmp_path / "demo.npz"
+    t.save(str(npz))
+    from_npz = load_trace_file(str(npz))
+    assert from_npz.total_instructions() == rt.total_instructions()
+    assert from_npz.total_memory_ops() == rt.total_memory_ops()
+
+
+def test_json_export_format_header(tmp_path):
+    import json as _json
+
+    t = _sample_trace()
+    path = tmp_path / "t.json"
+    t.save_json(str(path))
+    doc = _json.loads(path.read_text())
+    assert doc["format"] == "repro-kernel-trace"
+    assert doc["version"] == 1
+
+
+@pytest.mark.parametrize(
+    "mangle, fragment",
+    [
+        (lambda d: d.__setitem__("format", "other"), "format"),
+        (lambda d: d.__setitem__("version", 99), "version"),
+        (lambda d: d.__setitem__("name", ""), "name"),
+        (lambda d: d.__setitem__("warps", []), "warps"),
+        (lambda d: d["warps"][0]["segments"].append([-1]), r"segments\[3\]"),
+        (
+            lambda d: d["warps"][0]["segments"].append([0, 0, [None] * 32]),
+            "lane",
+        ),
+    ],
+)
+def test_json_ingest_rejects_malformed_documents(tmp_path, mangle, fragment):
+    import json as _json
+
+    from repro.workloads.trace import KernelTrace as KT
+
+    doc = _sample_trace().to_json_dict()
+    mangle(doc)
+    path = tmp_path / "bad.trace.json"
+    path.write_text(_json.dumps(doc))
+    with pytest.raises(TraceFormatError, match=fragment):
+        KT.load_json(str(path))
+
+
+def test_json_ingest_rejects_non_json(tmp_path):
+    from repro.workloads.trace import KernelTrace as KT
+
+    path = tmp_path / "bad.json"
+    path.write_text("{truncated")
+    with pytest.raises(TraceFormatError, match="bad.json"):
+        KT.load_json(str(path))
+
+
+def test_load_trace_file_dispatches_on_extension(tmp_path):
+    from repro.workloads.trace import load_trace_file
+
+    t = _sample_trace()
+    t.save(str(tmp_path / "a.npz"))
+    t.save_json(str(tmp_path / "a.json"))
+    assert load_trace_file(str(tmp_path / "a.npz")).name == "demo"
+    assert load_trace_file(str(tmp_path / "a.json")).name == "demo"
