@@ -37,10 +37,10 @@ import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 import time
 from typing import Optional
 
+from repro.core.atomic import atomic_write_json
 from repro.core.config import SimConfig
 from repro.gpu.system import GPUSystem, simulate
 from repro.guardrails.checkpoint import CheckpointError, load_checkpoint
@@ -80,27 +80,9 @@ def config_hash(config: SimConfig) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
 
-def atomic_write_json(path: str, obj) -> None:
-    """Write ``obj`` as JSON so readers never see a partial file.
-
-    The payload goes to a unique temp file in the destination directory
-    and is renamed into place (``os.replace`` is atomic on POSIX and
-    Windows).  Concurrent writers of the same path race benignly: the
-    last full document wins.
-    """
-    directory = os.path.dirname(path) or "."
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".json")
-    try:
-        with os.fdopen(fd, "w") as fh:
-            json.dump(obj, fh)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+# atomic_write_json moved to repro.core.atomic (every store shares it
+# now — results, history, cluster); re-exported here because this module
+# is its historical home and external callers import it from here.
 
 
 def _file_fingerprint(path: str) -> str:
@@ -124,6 +106,13 @@ def run_one_job(job: tuple) -> tuple:
     config, scale_name, kind, bench, scheduler, seed, perfect, cache_dir = job[:8]
     checkpoint_period_ns = job[8] if len(job) > 8 else 0.0
     trace_paths = job[9] if len(job) > 9 else None
+    # Chaos window at job entry (inert unless REPRO_CHAOS arms it): lets
+    # the fault tests hang or SIGKILL a worker at a defined protocol
+    # step — the timeout supervisor and the cluster's lease reclaim are
+    # both proven against exactly this point.
+    from repro.cluster.chaos import chaos_point
+
+    chaos_point("job-start")
     _maybe_inject_crash(cache_dir, bench, scheduler, seed)
     runner = ExperimentRunner(
         config=config,

@@ -26,7 +26,24 @@ process pool and makes the sweep safe to run at scale:
   (:mod:`repro.guardrails.checkpoint`); a crashed or timed-out job's
   retry resumes from its last snapshot instead of re-simulating from
   zero, and a job that fails even its retries records the exception
-  type and the snapshot path in the manifest for the next sweep.
+  type and the snapshot path in the manifest for the next sweep;
+* **real timeout enforcement** — with ``timeout_s`` set, jobs run in
+  per-job supervised processes (:func:`_run_procs`) that are **killed**
+  on expiry, not abandoned: a hung simulation never pins a pool slot,
+  and a worker that dies without reporting (OOM-killed, SIGKILL) is
+  detected and retried like any other failure;
+* **seeded retry backoff** — retries wait out an exponential,
+  deterministically-jittered delay (:class:`repro.cluster.RetryPolicy`)
+  instead of re-firing instantly; the same policy type drives the
+  distributed backend, so local and cluster drains of one grid back off
+  identically;
+* **distributed drain** — ``cluster_dir=...`` switches dispatch to the
+  lease-based shared-filesystem backend (:mod:`repro.cluster`): the
+  grid is enqueued as per-job records, ``workers - 1`` independent
+  agent processes plus this orchestrator claim and drain them, and the
+  manifest is compacted from per-job outcomes.  Without ``cluster_dir``
+  nothing changes — the local pool path is byte-for-byte the old
+  behavior (graceful degradation, pinned by the pre-existing tests).
 
 The returned :class:`SweepReport` carries per-job wall-clock and
 events/sec and serializes to the machine-readable ``BENCH_sweep.json``
@@ -36,20 +53,26 @@ events/sec and serializes to the machine-readable ``BENCH_sweep.json``
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
+import subprocess
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.analysis.runner import ExperimentRunner, atomic_write_json, run_one_job
 from repro.analysis.schema import SWEEP_SCHEMA
+from repro.cluster.retry import RetryPolicy
 
 __all__ = [
     "JobResult",
     "MANIFEST_NAME",
     "SweepJob",
     "SweepReport",
+    "cluster_job_records",
+    "cluster_run_meta",
     "load_manifest",
     "run_sweep",
 ]
@@ -93,6 +116,7 @@ class JobResult:
     error: str = ""
     error_type: str = ""  # exception class name on failure
     checkpoint: str = ""  # last snapshot of a failed job (resume point)
+    worker: str = ""  # cluster worker id that produced this result
 
     @property
     def events_per_sec(self) -> float:
@@ -115,6 +139,7 @@ class JobResult:
             "error": self.error,
             "error_type": self.error_type,
             "checkpoint": self.checkpoint,
+            "worker": self.worker,
         }
 
 
@@ -326,12 +351,27 @@ def run_sweep(
     history: bool = True,
     scenario_name: str = "",
     scenario_hash: str = "",
+    retry_policy: Optional[RetryPolicy] = None,
+    cluster_dir: Optional[str] = None,
 ) -> SweepReport:
     """Run the (benchmark x scheduler x seed) grid; returns a report.
 
     ``workers <= 0`` executes inline (no processes) — same retry/manifest
     semantics, useful under pytest and for debugging.  Jobs communicate
     exclusively through the runner's ``cache_dir``, which is required.
+
+    ``retry_policy`` spaces retry attempts (seeded exponential backoff,
+    docs/distributed.md); the default policy retries quickly enough for
+    tests while still decorrelating concurrent failers.
+
+    ``cluster_dir`` switches to the fault-tolerant distributed backend:
+    the grid is enqueued into a lease-based job store at that path and
+    drained by ``workers - 1`` spawned agent processes plus this one
+    (any number of additional ``repro cluster worker`` processes — on
+    this host or any host sharing the filesystem — may join or leave at
+    will).  The report, manifest, caching, and history behavior are
+    identical to a local run; ``timeout_s`` is superseded by lease
+    expiry there.
 
     The finished report is appended to the run-history store by default
     (docs/observability.md); ``history=False`` or ``REPRO_HISTORY=0``
@@ -413,6 +453,7 @@ def run_sweep(
             "error": res.error,
             "error_type": res.error_type,
             "checkpoint": res.checkpoint,
+            "worker": res.worker,
         }
         _save_manifest(runner.cache_dir, manifest, manifest_name)
         finished = len(results)
@@ -461,10 +502,22 @@ def run_sweep(
             )
         )
 
-    if todo and workers <= 0:
-        _run_inline(todo, payload, retries, record, fail, say)
+    policy = retry_policy if retry_policy is not None else RetryPolicy()
+
+    if todo and cluster_dir is not None:
+        _run_cluster(
+            cluster_dir, runner, todo, workers, retries, policy,
+            record, say, manifest_name,
+        )
+    elif todo and workers <= 0:
+        _run_inline(todo, payload, retries, policy, record, fail, say)
+    elif todo and timeout_s is not None:
+        _run_procs(
+            todo, payload, workers, timeout_s, retries, policy,
+            record, fail, say,
+        )
     elif todo:
-        _run_pool(todo, payload, workers, timeout_s, retries, record, fail, say)
+        _run_pool(todo, payload, workers, retries, policy, record, fail, say)
 
     report = SweepReport(
         results,
@@ -488,7 +541,19 @@ def run_sweep(
     return report
 
 
-def _run_inline(todo, payload, retries, record, fail, say) -> None:
+def _done_result(job: SweepJob, meta: dict, attempt: int) -> JobResult:
+    return JobResult(
+        job,
+        "done",
+        simulated=meta["simulated"],
+        wall_s=meta["wall_s"],
+        sim_events=meta["sim_events"],
+        sim_wall_s=meta["sim_wall_s"],
+        retries=attempt,
+    )
+
+
+def _run_inline(todo, payload, retries, policy, record, fail, say) -> None:
     for job in todo:
         attempt = 0
         while True:
@@ -498,27 +563,26 @@ def _run_inline(todo, payload, retries, record, fail, say) -> None:
             except Exception as exc:
                 if attempt < retries:
                     attempt += 1
-                    say(f"[sweep] retrying {job.job_id}: {exc}")
+                    delay = policy.delay_s(attempt, token=job.job_id)
+                    say(f"[sweep] retrying {job.job_id} in {delay:.2f}s: {exc}")
+                    time.sleep(delay)
                     continue
                 fail(job, attempt, time.time() - t_start, str(exc), type(exc).__name__)
                 break
-            record(
-                JobResult(
-                    job,
-                    "done",
-                    simulated=meta["simulated"],
-                    wall_s=meta["wall_s"],
-                    sim_events=meta["sim_events"],
-                    sim_wall_s=meta["sim_wall_s"],
-                    retries=attempt,
-                )
-            )
+            record(_done_result(job, meta, attempt))
             break
 
 
-def _run_pool(todo, payload, workers, timeout_s, retries, record, fail, say) -> None:
+def _run_pool(todo, payload, workers, retries, policy, record, fail, say) -> None:
+    """ProcessPoolExecutor dispatch (no per-job timeout — see _run_procs).
+
+    Failed jobs are re-queued after their backoff delay rather than
+    resubmitted instantly; the harvest loop keeps draining other
+    futures while a retry waits out its delay.
+    """
     with ProcessPoolExecutor(max_workers=workers) as pool:
         tracked: dict = {}  # future -> (job, attempt, t_submit)
+        deferred: list = []  # (ready_t, job, attempt) awaiting backoff
 
         def submit(job: SweepJob, attempt: int) -> None:
             try:
@@ -531,10 +595,19 @@ def _run_pool(todo, payload, workers, timeout_s, retries, record, fail, say) -> 
         for job in todo:
             submit(job, 0)
 
-        while tracked:
+        while tracked or deferred:
+            now = time.time()
+            for item in [d for d in deferred if d[0] <= now]:
+                deferred.remove(item)
+                submit(item[1], item[2])
+            if not tracked:
+                if deferred:
+                    naps = max(0.0, min(d[0] for d in deferred) - time.time())
+                    time.sleep(min(naps, _POLL_S))
+                continue
             done, _pending = wait(
                 list(tracked),
-                timeout=_POLL_S if timeout_s is not None else None,
+                timeout=_POLL_S if deferred else None,
                 return_when=FIRST_COMPLETED,
             )
             now = time.time()
@@ -544,42 +617,269 @@ def _run_pool(todo, payload, workers, timeout_s, retries, record, fail, say) -> 
                     _key, _summary, meta = fut.result()
                 except Exception as exc:
                     if attempt < retries:
-                        say(f"[sweep] retrying {job.job_id}: {exc}")
-                        submit(job, attempt + 1)
+                        delay = policy.delay_s(attempt + 1, token=job.job_id)
+                        say(
+                            f"[sweep] retrying {job.job_id} in "
+                            f"{delay:.2f}s: {exc}"
+                        )
+                        deferred.append((now + delay, job, attempt + 1))
                     else:
                         fail(job, attempt, now - t_submit, str(exc), type(exc).__name__)
                 else:
-                    record(
-                        JobResult(
-                            job,
-                            "done",
-                            simulated=meta["simulated"],
-                            wall_s=meta["wall_s"],
-                            sim_events=meta["sim_events"],
-                            sim_wall_s=meta["sim_wall_s"],
-                            retries=attempt,
-                        )
-                    )
-            if timeout_s is None:
-                continue
-            for fut in list(tracked):
-                job, attempt, t_submit = tracked[fut]
-                if now - t_submit <= timeout_s:
-                    continue
-                # Cancel if still queued; a running worker process cannot
-                # be killed through the pool API — the job is abandoned
-                # (its eventual result is ignored) and the slot freed when
-                # it finishes.
-                fut.cancel()
-                del tracked[fut]
-                if attempt < retries:
-                    say(f"[sweep] timeout, retrying {job.job_id}")
-                    submit(job, attempt + 1)
+                    record(_done_result(job, meta, attempt))
+
+
+def _proc_entry(conn, job_payload) -> None:
+    """Child entry for _run_procs: report (ok, value) through the pipe."""
+    try:
+        key_summary_meta = run_one_job(job_payload)
+    except BaseException as exc:  # noqa: BLE001 - marshalled to the parent
+        try:
+            conn.send(("err", (str(exc), type(exc).__name__)))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", key_summary_meta))
+    conn.close()
+
+
+def _run_procs(
+    todo, payload, workers, timeout_s, retries, policy, record, fail, say
+) -> None:
+    """Per-job supervised processes: timeouts *kill* the worker.
+
+    The old pool path could only ``Future.cancel()`` a timed-out job —
+    a worker already running was abandoned and kept its pool slot until
+    it finished (possibly never).  Here every job is its own
+    ``multiprocessing.Process``: on expiry the supervisor SIGKILLs it,
+    reclaims the slot immediately, and retries under the backoff
+    policy.  A worker that dies *without* reporting a result (OOM
+    killer, crash) is detected by exit-code and handled the same way —
+    one dead worker never poisons the rest of the sweep (the executor
+    path would raise BrokenProcessPool for every in-flight future).
+    """
+    ctx = multiprocessing.get_context()
+    queue: list = [(job, 0, 0.0) for job in todo]  # (job, attempt, ready_t)
+    running: dict = {}  # proc -> (job, attempt, t_start, recv_conn)
+
+    def finish(proc) -> None:
+        _job, _attempt, _t, recv = running.pop(proc)
+        recv.close()
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5.0)
+
+    def retry_or_fail(job, attempt, wall_s, error, error_type) -> None:
+        if attempt < retries:
+            delay = policy.delay_s(attempt + 1, token=job.job_id)
+            say(f"[sweep] retrying {job.job_id} in {delay:.2f}s: {error}")
+            queue.append((job, attempt + 1, time.time() + delay))
+        else:
+            fail(job, attempt, wall_s, error, error_type)
+
+    while queue or running:
+        now = time.time()
+        for item in [q for q in queue if q[2] <= now]:
+            if len(running) >= max(1, workers):
+                break
+            queue.remove(item)
+            job, attempt, _ready = item
+            recv, send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_proc_entry, args=(send, payload(job)))
+            proc.daemon = True
+            proc.start()
+            send.close()  # child's end; parent sees EOF if the child dies
+            running[proc] = (job, attempt, time.time(), recv)
+
+        progressed = False
+        for proc in list(running):
+            job, attempt, t_start, recv = running[proc]
+            message = None
+            if recv.poll(0):
+                try:
+                    message = recv.recv()
+                except (EOFError, OSError):
+                    message = None  # died mid-send: treated as a crash
+            if message is not None:
+                finish(proc)
+                progressed = True
+                status, value = message
+                if status == "ok":
+                    _key, _summary, meta = value
+                    record(_done_result(job, meta, attempt))
                 else:
-                    fail(
-                        job,
-                        attempt,
-                        now - t_submit,
-                        f"timeout after {timeout_s:.0f}s",
-                        "TimeoutError",
-                    )
+                    error, error_type = value
+                    retry_or_fail(job, attempt, time.time() - t_start,
+                                  error, error_type)
+            elif not proc.is_alive():
+                exitcode = proc.exitcode
+                finish(proc)
+                progressed = True
+                retry_or_fail(
+                    job, attempt, time.time() - t_start,
+                    f"worker died without reporting (exit code {exitcode})",
+                    "WorkerCrashed",
+                )
+            elif time.time() - t_start > timeout_s:
+                proc.kill()  # actually terminate — never abandon the job
+                finish(proc)
+                progressed = True
+                say(f"[sweep] killed {job.job_id} after {timeout_s:.0f}s")
+                retry_or_fail(
+                    job, attempt, time.time() - t_start,
+                    f"timeout after {timeout_s:.0f}s", "TimeoutError",
+                )
+        if not progressed:
+            time.sleep(min(_POLL_S, 0.05))
+
+
+# ----------------------------------------------------------------------
+# distributed (cluster) dispatch
+# ----------------------------------------------------------------------
+def cluster_job_records(jobs: Sequence[SweepJob]) -> list[dict]:
+    """Per-job store records for a grid (what workers need to run one)."""
+    return [
+        {
+            "id": job.job_id,
+            "kind": job.kind,
+            "bench": job.bench,
+            "scheduler": job.scheduler,
+            "scale": job.scale,
+            "seed": job.seed,
+            "perfect": job.perfect,
+            "config_hash": job.config_hash,
+        }
+        for job in jobs
+    ]
+
+
+def cluster_run_meta(
+    runner: ExperimentRunner,
+    *,
+    retries: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    manifest_name: str = MANIFEST_NAME,
+    heartbeat_s: float = 2.0,
+    lease_expiry_s: float = 10.0,
+    quarantine_owners: int = 3,
+) -> dict:
+    """The immutable ``run.json`` document for a cluster run.
+
+    Carries everything a bare worker process needs to reconstruct the
+    exact simulation (the config as data, cache dir, checkpoint period,
+    traces) plus the fleet's shared knobs (lease timings, retry budget
+    and backoff policy, quarantine bound).
+    """
+    return {
+        "config": asdict(runner.config),
+        "config_hash": runner.config_hash,
+        "cache_dir": os.path.abspath(runner.cache_dir),
+        "kind": runner.kind,
+        "scale": runner.scale.name,
+        "checkpoint_period_ns": runner.checkpoint_period_ns,
+        "trace_paths": runner.trace_paths or None,
+        "manifest_name": manifest_name,
+        "retries": retries,
+        "policy": (policy or RetryPolicy()).to_dict(),
+        "heartbeat_s": heartbeat_s,
+        "lease_expiry_s": lease_expiry_s,
+        "quarantine_owners": quarantine_owners,
+    }
+
+
+def _agent_env() -> dict:
+    """Env for spawned agents: make sure they can import this repro."""
+    env = dict(os.environ)
+    pkg_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        pkg_root + (os.pathsep + existing if existing else "")
+    )
+    return env
+
+
+def _run_cluster(
+    cluster_dir, runner, todo, workers, retries, policy, record, say,
+    manifest_name,
+) -> None:
+    """Drain the grid through the lease-based distributed backend.
+
+    The orchestrator enqueues per-job records, spawns ``workers - 1``
+    agent subprocesses (``repro cluster worker``), and participates in
+    the drain itself — so ``workers=N`` costs N processes either way,
+    and ``workers<=1`` degrades to a single-process drain that still
+    exercises the full store protocol.  Outcomes are harvested into the
+    ordinary record() path, so the manifest, report, and history are
+    exactly what a local run produces.
+    """
+    from repro.cluster.store import JobStore
+    from repro.cluster.worker import ClusterWorker, default_worker_id
+
+    store = JobStore.create(
+        cluster_dir,
+        cluster_run_meta(
+            runner, retries=retries, policy=policy,
+            manifest_name=manifest_name,
+        ),
+    )
+    n_new = store.ensure_jobs(cluster_job_records(todo))
+    say(
+        f"[cluster] {n_new} job(s) enqueued into {store.root} "
+        f"({len(todo) - n_new} already present)"
+    )
+
+    agents: list = []
+    for i in range(max(0, workers - 1)):
+        agents.append(
+            subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "cluster", "worker",
+                    store.root, "--worker-id",
+                    f"agent{i}-{default_worker_id()}",
+                ],
+                env=_agent_env(),
+                stdout=subprocess.DEVNULL,
+            )
+        )
+    if agents:
+        say(f"[cluster] spawned {len(agents)} agent process(es)")
+
+    me = ClusterWorker(
+        store, worker_id=f"orch-{default_worker_id()}", progress=say
+    )
+    try:
+        me.drain()  # returns when every job is done/failed/quarantined
+    finally:
+        for proc in agents:
+            try:
+                proc.wait(timeout=2.0 * store.lease_expiry_s)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10.0)
+
+    for job in todo:
+        outcome = store.outcome(job.job_id)
+        if outcome is None:
+            quarantine = store.quarantined(job.job_id) or {}
+            record(JobResult(
+                job,
+                "failed",
+                retries=int(quarantine.get("failures", 0)),
+                error=str(quarantine.get("error", "no outcome recorded")),
+                error_type="Quarantined" if quarantine else "NoOutcome",
+                worker="",
+            ))
+            continue
+        record(JobResult(
+            job,
+            str(outcome.get("status", "done")),
+            simulated=bool(outcome.get("simulated", False)),
+            wall_s=float(outcome.get("wall_s", 0.0)),
+            sim_events=float(outcome.get("sim_events", 0.0)),
+            sim_wall_s=float(outcome.get("sim_wall_s", 0.0)),
+            retries=int(outcome.get("retries", 0)),
+            error=str(outcome.get("error", "")),
+            error_type=str(outcome.get("error_type", "")),
+            checkpoint=str(outcome.get("checkpoint", "")),
+            worker=str(outcome.get("worker", "")),
+        ))

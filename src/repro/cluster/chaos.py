@@ -1,0 +1,158 @@
+"""Process-level chaos harness for the distributed sweep backend.
+
+PR 3's :class:`~repro.guardrails.faults.FaultInjector` breaks the
+*simulator* on purpose so the guardrails can be watched catching each
+fault class.  This module extends the same philosophy one level up, to
+the *fleet*: it breaks worker **processes** and store **files** on
+purpose so the lease protocol can be watched recovering from each fault
+class (docs/distributed.md lists the classes and their detectors).
+
+Two surfaces:
+
+* **Chaos points** — named crash-windows compiled into the production
+  code paths (``atomic-write``, ``lease-tmp``, ``lease-claimed``,
+  ``worker-claimed``, ``heartbeat``, ``append-line``).  They are inert
+  unless the ``REPRO_CHAOS`` environment variable arms them, so a
+  subprocess under test can be told to die, stall, or freeze at an
+  exact protocol step without any test-only forks in the logic itself.
+* **Direct corruption helpers** — :func:`corrupt_file` /
+  :func:`truncate_file` for tests that vandalize lease/record files in
+  place, modelling torn writes from other tools or failing disks.
+
+``REPRO_CHAOS`` syntax — comma-separated ``point=action`` arms::
+
+    REPRO_CHAOS="worker-claimed=kill"          # SIGKILL at the point
+    REPRO_CHAOS="heartbeat=freeze"             # stop renewing the lease
+    REPRO_CHAOS="atomic-write=kill!once"       # fire on first hit only
+    REPRO_CHAOS="lease-tmp=exit:3,heartbeat=stall:0.5"
+
+Actions: ``kill`` (SIGKILL self — no cleanup handlers run, exactly like
+the OOM killer), ``exit[:code]`` (``os._exit``), ``stall:<seconds>``
+(sleep inside the protocol step), ``kill-after:<seconds>`` (arm a
+daemon thread that SIGKILLs this process later — lands mid-simulation),
+and ``freeze`` (interpreted by the heartbeat loop: silently stop
+renewing, modelling a livelocked-but-alive worker).
+
+``!once`` needs ``REPRO_CHAOS_MARK_DIR`` (a shared directory): the
+first process to reach the point claims a marker file with
+``O_CREAT|O_EXCL`` and acts; every later hit — including the retry of
+the job the chaos just killed — passes through unharmed.  That is what
+lets one env var express "the first attempt dies, the recovery must
+succeed".
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from typing import Optional
+
+__all__ = [
+    "CHAOS_ENV",
+    "MARK_DIR_ENV",
+    "chaos_armed",
+    "chaos_point",
+    "corrupt_file",
+    "truncate_file",
+]
+
+CHAOS_ENV = "REPRO_CHAOS"
+MARK_DIR_ENV = "REPRO_CHAOS_MARK_DIR"
+
+
+def _parse(spec: str) -> dict[str, str]:
+    """``point=action[!once],...`` -> {point: action[!once]} (lenient)."""
+    out: dict[str, str] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part or "=" not in part:
+            continue
+        point, _, action = part.partition("=")
+        out[point.strip()] = action.strip()
+    return out
+
+
+def _claim_once(point: str) -> bool:
+    """True when this process may fire a ``!once`` arm (marker claimed)."""
+    mark_dir = os.environ.get(MARK_DIR_ENV)
+    if not mark_dir:
+        return True  # no marker dir: every hit fires (caller opted out)
+    try:
+        os.makedirs(mark_dir, exist_ok=True)
+        fd = os.open(
+            os.path.join(mark_dir, f"chaos-{point}.fired"),
+            os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+        )
+    except FileExistsError:
+        return False
+    except OSError:
+        return True  # unusable marker dir: fail open (chaos still fires)
+    os.close(fd)
+    return True
+
+
+def chaos_armed(point: str) -> Optional[str]:
+    """The action armed at ``point`` (``!once`` resolved), or ``None``.
+
+    Consumes the once-marker when it returns an action, so callers that
+    interpret actions themselves (the heartbeat loop's ``freeze``) get
+    the same fire-exactly-once semantics as :func:`chaos_point`.
+    """
+    spec = os.environ.get(CHAOS_ENV)
+    if not spec:
+        return None
+    action = _parse(spec).get(point)
+    if action is None:
+        return None
+    if action.endswith("!once"):
+        action = action[: -len("!once")]
+        if not _claim_once(point):
+            return None
+    return action
+
+
+def _sigkill_self() -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(60)  # unreachable; parks the caller until the signal lands
+
+
+def chaos_point(point: str) -> Optional[str]:
+    """Fire whatever is armed at ``point``; returns the action (if any).
+
+    Generic actions (``kill``/``exit``/``stall``/``kill-after``) are
+    executed here; anything else (``freeze``) is returned for the call
+    site to interpret.  Unarmed points cost one env lookup.
+    """
+    action = chaos_armed(point)
+    if action is None:
+        return None
+    if action == "kill":
+        _sigkill_self()
+    elif action.startswith("exit"):
+        _, _, code = action.partition(":")
+        os._exit(int(code) if code else 13)
+    elif action.startswith("stall:"):
+        time.sleep(float(action.split(":", 1)[1]))
+    elif action.startswith("kill-after:"):
+        delay = float(action.split(":", 1)[1])
+        timer = threading.Timer(delay, _sigkill_self)
+        timer.daemon = True
+        timer.start()
+    return action
+
+
+# ----------------------------------------------------------------------
+# direct corruption helpers (for tests; no env involved)
+# ----------------------------------------------------------------------
+def corrupt_file(path: str, garbage: bytes = b'{"torn": ') -> None:
+    """Overwrite ``path`` with unparsable JSON in place (torn write)."""
+    with open(path, "wb") as fh:
+        fh.write(garbage)
+
+
+def truncate_file(path: str, keep: int = 3) -> None:
+    """Truncate ``path`` to its first ``keep`` bytes (partial flush)."""
+    with open(path, "rb+") as fh:
+        fh.truncate(keep)

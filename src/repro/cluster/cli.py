@@ -1,0 +1,195 @@
+"""``repro cluster ...`` — operate a distributed sweep by hand.
+
+Four verbs over one run directory (argparse wiring lives in
+``repro.__main__``; this module only implements the commands):
+
+* ``init``   — expand a grid (or a scenario spec) into per-job records.
+* ``worker`` — run one agent against the directory until the sweep is
+  terminal.  Any number may run concurrently, started and SIGKILLed at
+  will, on any host sharing the filesystem.
+* ``drain``  — convenience: spawn N local worker processes, wait for
+  them, compact the manifest, print the final state.
+* ``status`` — the store's derived per-job states, human or JSON.
+
+``run_sweep(cluster_dir=...)`` does all of this in one call; these
+verbs exist for the chaos tests, for CI, and for actually operating a
+long sweep (enqueue once, attach workers as machines free up).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+from repro.cluster.store import JobStore, compact_manifest
+from repro.cluster.worker import ClusterWorker, default_worker_id
+
+__all__ = ["run"]
+
+
+def _say(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+def _expand_jobs(args) -> tuple:
+    """(runner, jobs, retries) for ``init`` from either grid source."""
+    from repro.analysis.sweep import SweepJob
+
+    if args.spec is not None:
+        from repro.scenarios import load_spec
+        from repro.scenarios.runner import build_runner
+
+        spec = load_spec(args.spec)
+        runner = build_runner(
+            spec, cache_dir=args.cache_dir, scale=args.scale
+        )
+        benchmarks = list(spec.workload.names)
+        schedulers = list(spec.schedulers)
+        perfect = spec.perfect
+        retries = spec.retries if args.retries is None else args.retries
+    else:
+        from repro.analysis.runner import ExperimentRunner
+        from repro.workloads.suite import Scale
+
+        if not args.benchmarks or not args.schedulers:
+            raise SystemExit(
+                "repro cluster init: error: give --spec FILE, or both "
+                "--benchmarks and --schedulers"
+            )
+        runner = ExperimentRunner(
+            scale=Scale[(args.scale or "quick").upper()],
+            seeds=tuple(args.seeds or (1, 2)),
+            kind=args.kind or "synthetic",
+            cache_dir=args.cache_dir,
+        )
+        benchmarks = args.benchmarks
+        schedulers = args.schedulers
+        perfect = args.perfect
+        retries = 1 if args.retries is None else args.retries
+
+    jobs, seen = [], set()
+    for bench in benchmarks:
+        for sched in schedulers:
+            for seed in runner.seeds:
+                job = SweepJob(
+                    kind=runner.kind, bench=bench, scheduler=sched,
+                    scale=runner.scale.name, seed=seed, perfect=perfect,
+                    config_hash=runner.config_hash,
+                )
+                if job.job_id not in seen:
+                    seen.add(job.job_id)
+                    jobs.append(job)
+    return runner, jobs, retries
+
+
+def cmd_init(args) -> int:
+    from repro.analysis.sweep import cluster_job_records, cluster_run_meta
+    from repro.cluster.retry import RetryPolicy
+
+    runner, jobs, retries = _expand_jobs(args)
+    os.makedirs(args.cache_dir, exist_ok=True)
+    store = JobStore.create(
+        args.dir,
+        cluster_run_meta(
+            runner,
+            retries=retries,
+            policy=RetryPolicy(seed=args.backoff_seed),
+            heartbeat_s=args.heartbeat,
+            lease_expiry_s=args.lease_expiry,
+            quarantine_owners=args.quarantine_owners,
+        ),
+    )
+    n_new = store.ensure_jobs(cluster_job_records(jobs))
+    print(
+        f"[cluster] {store.root}: {n_new} job(s) enqueued, "
+        f"{len(jobs) - n_new} already present "
+        f"(config {runner.config_hash})"
+    )
+    return 0
+
+
+def cmd_worker(args) -> int:
+    store = JobStore.open(args.dir)
+    worker = ClusterWorker(store, worker_id=args.worker_id, progress=_say)
+    stats = worker.drain(max_jobs=args.max_jobs, wait=not args.no_wait)
+    print(json.dumps(stats.to_dict()))
+    if args.stats_out:
+        worker.write_stats(args.stats_out)
+    return 0
+
+
+def cmd_drain(args) -> int:
+    store = JobStore.open(args.dir)
+    env = dict(os.environ)
+    procs = []
+    for i in range(max(1, args.workers)):
+        procs.append(subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "cluster", "worker",
+                store.root, "--worker-id", f"drain{i}-{default_worker_id()}",
+            ],
+            env=env,
+        ))
+    _say(f"[cluster] draining {store.root} with {len(procs)} worker(s)")
+    failed_procs = 0
+    for proc in procs:
+        if proc.wait() != 0:
+            failed_procs += 1
+    manifest = compact_manifest(store)
+    snapshot = store.snapshot()
+    counts = {state: len(ids) for state, ids in sorted(snapshot.items())}
+    print(f"[cluster] drain finished: {counts} "
+          f"({len(manifest)} manifest row(s) compacted)")
+    bad = sum(
+        counts.get(state, 0) for state in ("failed", "quarantined")
+    )
+    return 1 if (bad or failed_procs or not store.all_terminal()) else 0
+
+
+def cmd_status(args) -> int:
+    store = JobStore.open(args.dir)
+    now = time.time()
+    if args.json:
+        doc = {
+            "root": store.root,
+            "config_hash": store.meta.get("config_hash", ""),
+            "states": store.snapshot(now),
+            "terminal": store.all_terminal(),
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    snapshot = store.snapshot(now)
+    total = sum(len(ids) for ids in snapshot.values())
+    print(f"[cluster] {store.root}: {total} job(s), "
+          f"config {store.meta.get('config_hash', '?')}")
+    for state in sorted(snapshot):
+        for job_id in snapshot[state]:
+            detail = ""
+            if state == "running":
+                info = store.lease(job_id).read()
+                if info is not None:
+                    detail = f"  owner={info.owner} age={info.age_s(now):.1f}s"
+            elif state in ("failed", "quarantined", "backoff"):
+                detail = f"  failures={len(store.failures(job_id))}"
+            print(f"  {state:<12} {job_id}{detail}")
+    return 0
+
+
+def run(args) -> int:
+    """Dispatch an already-parsed ``repro cluster`` namespace."""
+    from repro.cluster.store import ClusterError
+
+    handler = {
+        "init": cmd_init,
+        "worker": cmd_worker,
+        "drain": cmd_drain,
+        "status": cmd_status,
+    }[args.action]
+    try:
+        return handler(args)
+    except ClusterError as exc:
+        print(f"repro cluster {args.action}: error: {exc}", file=sys.stderr)
+        return 2

@@ -103,12 +103,32 @@ def save_checkpoint(system: "GPUSystem", path: str) -> dict:
 
 
 def _read_envelope(path: str) -> dict:
+    """Unpickle and sanity-check an envelope; corruption never escapes.
+
+    Truncated pickles raise ``EOFError``, bit-flipped ones anything from
+    ``UnpicklingError`` through ``IndexError``/``MemoryError`` (the
+    pickle VM chokes mid-opcode) — a crashed worker's half-written or
+    vandalized snapshot must surface as :class:`CheckpointError` so the
+    sweep's resume path can fall back to a fresh run, not as a random
+    exception classified as a simulation failure.
+    """
     try:
         with open(path, "rb") as fh:
             envelope = pickle.load(fh)
     except FileNotFoundError:
         raise CheckpointError(f"no checkpoint at {path}") from None
-    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
+    except (
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        IndexError,
+        KeyError,
+        TypeError,
+        ValueError,
+        MemoryError,
+        OSError,
+    ) as exc:
         raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
     if not isinstance(envelope, dict) or envelope.get("format") != CHECKPOINT_FORMAT:
         raise CheckpointError(f"{path} is not a {CHECKPOINT_FORMAT} snapshot")
@@ -118,6 +138,12 @@ def _read_envelope(path: str) -> dict:
             f"{path} has checkpoint version {version}, "
             f"this build reads version {CHECKPOINT_VERSION}"
         )
+    for key in ("config_hash", "next_req_id", "system"):
+        if key not in envelope:
+            raise CheckpointError(
+                f"{path}: envelope is missing {key!r} (doctored or "
+                "incompletely written snapshot)"
+            )
     return envelope
 
 

@@ -10,10 +10,12 @@ commits and machines without re-deriving provenance.
 
 Design rules:
 
-* **Append-only.**  Records are never rewritten; each append is a single
-  ``write()`` of one line opened in ``"a"`` mode, so concurrent
-  producers interleave whole lines (POSIX O_APPEND) and a crash can at
-  worst truncate the final line — which readers skip.
+* **Append-only.**  Records are never rewritten; each append is one
+  ``os.write`` of one complete line on an ``O_APPEND`` descriptor
+  (:func:`repro.core.atomic.atomic_append_line`), so concurrent
+  producers — including a fleet of distributed sweep workers — can
+  never interleave bytes or garble each other's lines, and a crash can
+  at worst truncate the final line — which readers skip.
 * **Forward-compatible reads.**  A record whose envelope schema version
   is newer than this code understands, or whose line does not parse, is
   skipped with a :class:`warnings.warn` — never a crash.  Old stores
@@ -36,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from repro.analysis.schema import HISTORY_SCHEMA, provenance_problems
+from repro.core.atomic import atomic_append_line
 
 __all__ = [
     "HistoryError",
@@ -112,6 +115,10 @@ class HistoryRecord:
     calibration_ops_per_sec: float
     payload: dict
     schema_version: int = HISTORY_SCHEMA
+    #: Producing worker identity (distributed sweeps; "" = local run).
+    worker: str = ""
+    #: Attempt number that produced the payload (0 = first try).
+    attempt: int = 0
     #: Problems provenance validation found at read time (empty = clean).
     problems: list[str] = field(default_factory=list)
 
@@ -125,6 +132,8 @@ class HistoryRecord:
             "config_hash": self.config_hash,
             "host": self.host,
             "python": self.python,
+            "worker": self.worker,
+            "attempt": self.attempt,
             "calibration_ops_per_sec": round(self.calibration_ops_per_sec, 1),
             "payload": self.payload,
         }
@@ -139,6 +148,10 @@ class HistoryRecord:
             config_hash=str(doc.get("config_hash", "")),
             host=str(doc.get("host", "")),
             python=str(doc.get("python", "")),
+            # Schema-1 lines have neither key; the defaults make old
+            # stores read as local first-attempt records, which they are.
+            worker=str(doc.get("worker", "")),
+            attempt=int(doc.get("attempt", 0) or 0),
             calibration_ops_per_sec=float(
                 doc.get("calibration_ops_per_sec") or 0.0
             ),
@@ -182,6 +195,8 @@ class HistoryStore:
         config_hash: str = "",
         calibration_ops_per_sec: Optional[float] = None,
         strict: bool = True,
+        worker: Optional[str] = None,
+        attempt: int = 0,
     ) -> HistoryRecord:
         """Append one record; returns the stored envelope.
 
@@ -189,6 +204,10 @@ class HistoryStore:
         provenance contract (:func:`repro.analysis.schema
         .provenance_problems`); ``strict=False`` appends anyway so a
         forensic record of a malformed producer still lands somewhere.
+
+        ``worker`` defaults to ``REPRO_WORKER_ID`` (set by cluster
+        workers), so records written from inside a distributed drain
+        carry their producer without the producer knowing about it.
         """
         problems = provenance_problems(kind, payload)
         if problems and strict:
@@ -217,11 +236,16 @@ class HistoryStore:
             python=".".join(map(str, sys.version_info[:3])),
             calibration_ops_per_sec=calibration,
             payload=payload,
+            worker=(
+                worker if worker is not None
+                else os.environ.get("REPRO_WORKER_ID", "")
+            ),
+            attempt=attempt,
             problems=problems,
         )
-        line = json.dumps(record.to_dict(), separators=(",", ":"))
-        with open(path, "a") as fh:
-            fh.write(line + "\n")
+        atomic_append_line(
+            path, json.dumps(record.to_dict(), separators=(",", ":"))
+        )
         return record
 
     @staticmethod

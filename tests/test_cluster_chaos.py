@@ -1,0 +1,404 @@
+"""Chaos harness: every fleet fault class is injected, detected, recovered.
+
+Each test breaks the distributed backend the way production breaks —
+SIGKILL mid-protocol-step, heartbeats that freeze while the simulation
+keeps running, lease files torn by failing disks, leases that vanish,
+writers killed inside an atomic write — and asserts the lease protocol's
+specific detector fires *and* the sweep still completes with complete,
+uncorrupted artifacts.  The fault classes and their detectors are
+tabulated in ``docs/distributed.md``.
+
+Process-level faults use real subprocesses armed via ``REPRO_CHAOS``
+(never set in this test process's own environment unless the arm is
+``!once``-consumed by a controlled thread); in-process faults use
+threads so the test can vandalize files at exact protocol moments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.analysis.runner import ExperimentRunner
+from repro.analysis.sweep import (
+    cluster_job_records,
+    cluster_run_meta,
+    run_sweep,
+)
+from repro.cluster.chaos import corrupt_file
+from repro.cluster.lease import Lease
+from repro.cluster.store import JobStore, compact_manifest
+from repro.cluster.worker import ClusterWorker
+from repro.guardrails.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    peek_checkpoint,
+)
+from repro.workloads.suite import Scale
+
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def tiny_runner(path, **kw) -> ExperimentRunner:
+    return ExperimentRunner(
+        scale=Scale.TINY, seeds=(1,), cache_dir=str(path), **kw
+    )
+
+
+def cache_entries(path) -> dict[str, dict]:
+    """Cache JSONs keyed by name, minus wall-clock (non-deterministic)."""
+    from repro.analysis.sweep import MANIFEST_NAME
+
+    return {
+        p.name: {
+            k: v
+            for k, v in json.loads(p.read_text()).items()
+            if k != "sim_wall_s"
+        }
+        for p in path.iterdir()
+        if p.suffix == ".json" and p.name != MANIFEST_NAME
+    }
+
+
+def chaos_env(**arms) -> dict:
+    """A subprocess environment with ``REPRO_CHAOS`` arms (and nothing
+    chaotic inherited by this test process)."""
+    env = {k: v for k, v in os.environ.items()
+           if k not in ("REPRO_CHAOS", "REPRO_CHAOS_MARK_DIR")}
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(arms)
+    return env
+
+
+def fast_store(tmp_path, schedulers=("gmc",), **meta_kw) -> JobStore:
+    """A store over real TINY jobs with chaos-friendly lease timings."""
+    from repro.analysis.sweep import SweepJob
+
+    cache = tmp_path / "cache"
+    cache.mkdir(exist_ok=True)
+    runner = tiny_runner(cache, **meta_kw.pop("runner_kw", {}))
+    meta = cluster_run_meta(
+        runner,
+        heartbeat_s=meta_kw.pop("heartbeat_s", 0.2),
+        lease_expiry_s=meta_kw.pop("lease_expiry_s", 1.0),
+        **meta_kw,
+    )
+    store = JobStore.create(str(tmp_path / "run"), meta)
+    store.ensure_jobs(cluster_job_records([
+        SweepJob(kind="synthetic", bench="sad", scheduler=s, scale="TINY",
+                 seed=1, perfect=False, config_hash=runner.config_hash)
+        for s in schedulers
+    ]))
+    return store
+
+
+# ----------------------------------------------------------------------
+# fault class: worker SIGKILLed mid-protocol (the OOM-killer scenario)
+# ----------------------------------------------------------------------
+def test_sigkill_mid_lease_creation_leaves_no_lease(tmp_path):
+    """Satellite: killed between the lease tmp-write and the link — a
+    partial lease is unrepresentable, the job stays claimable."""
+    path = str(tmp_path / "leases" / "job.lease")
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "import sys\n"
+         "from repro.cluster.lease import Lease\n"
+         "Lease(sys.argv[1], 10.0).try_claim('victim', 1)\n",
+         path],
+        env=chaos_env(REPRO_CHAOS="lease-tmp=kill"), timeout=60,
+    )
+    assert proc.returncode == -9  # SIGKILL landed inside the claim
+    assert not os.path.exists(path)  # no lease, partial or otherwise
+    leftovers = os.listdir(tmp_path / "leases")
+    assert all(name.startswith(".tmp-") for name in leftovers)
+    # the slot is immediately claimable by anyone else
+    assert Lease(path, 10.0).try_claim("rescuer", 1)
+
+
+def test_sigkill_just_after_claim_expires_and_is_reclaimed(tmp_path):
+    """Killed one instruction after the link: the lease is complete
+    (atomicity), orphaned, and ages out on the heartbeat schedule."""
+    path = str(tmp_path / "job.lease")
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "import sys\n"
+         "from repro.cluster.lease import Lease\n"
+         "Lease(sys.argv[1], 10.0).try_claim('victim', 1)\n",
+         path],
+        env=chaos_env(REPRO_CHAOS="lease-claimed=kill"), timeout=60,
+    )
+    assert proc.returncode == -9
+    lease = Lease(path, 0.4)
+    info = lease.read()
+    assert info is not None and info.owner == "victim" and not info.corrupt
+    assert not lease.try_claim("rescuer", 2)  # not expired yet: protected
+    time.sleep(0.5)
+    assert lease.expired()
+    assert lease.try_claim("rescuer", 2)  # orphan reclaimed
+
+
+def test_sigkill_worker_mid_job_fleet_completes_bit_identical(tmp_path):
+    """The tentpole acceptance: a worker is SIGKILLed after claiming a
+    job; the survivor reclaims the orphaned lease, finishes the whole
+    sweep, and the results are bit-identical to a local run."""
+    store = fast_store(
+        tmp_path, schedulers=("gmc", "wg"), lease_expiry_s=1.5
+    )
+    victim = subprocess.run(
+        [sys.executable, "-m", "repro", "cluster", "worker",
+         store.root, "--worker-id", "victim", "--no-wait"],
+        env=chaos_env(REPRO_CHAOS="worker-claimed=kill"),
+        timeout=120, capture_output=True,
+    )
+    assert victim.returncode == -9  # died owning a lease, job unfinished
+    first = store.job_ids()[0]
+    orphan = store.lease(first).read()
+    assert orphan is not None and orphan.owner == "victim"
+    assert store.outcome(first) is None
+    # The rescuer must wait out the expiry, then take over everything.
+    stats = ClusterWorker(store, worker_id="rescuer").drain()
+    assert stats.reclaims == 1  # the orphaned lease, detected as held
+    assert stats.done == 2 and stats.failed_attempts == 0
+    assert store.all_terminal()
+    manifest = compact_manifest(store)
+    assert all(row["status"] == "done" for row in manifest.values())
+    assert all(row["worker"] == "rescuer" for row in manifest.values())
+    # Bit-identity against an uninterrupted single-process sweep.
+    ref = tmp_path / "ref"
+    ref.mkdir()
+    run_sweep(tiny_runner(ref), ["sad"], ["gmc", "wg"], workers=0,
+              history=False)
+    assert cache_entries(tmp_path / "cache") == cache_entries(ref)
+
+
+# ----------------------------------------------------------------------
+# fault class: live-but-stalled worker (heartbeat freeze / stall)
+# ----------------------------------------------------------------------
+def drain_in_thread(store, worker_id):
+    worker = ClusterWorker(store, worker_id=worker_id)
+    thread = threading.Thread(
+        target=worker.drain, kwargs={"max_jobs": 1, "wait": False},
+        daemon=True,
+    )
+    thread.start()
+    return worker, thread
+
+
+def test_frozen_heartbeat_is_taken_over(tmp_path, monkeypatch):
+    """``heartbeat=freeze``: the victim keeps simulating but silently
+    stops renewing — the livelock case.  Detection is the takeover."""
+    store = fast_store(tmp_path)
+    job = store.job_ids()[0]
+    monkeypatch.setenv("REPRO_CHAOS_MARK_DIR", str(tmp_path / "marks"))
+    monkeypatch.setenv(
+        "REPRO_CHAOS", "heartbeat=freeze!once,job-start=stall:2.5!once"
+    )
+    victim, thread = drain_in_thread(store, "victim")
+    deadline = time.time() + 10
+    while store.lease(job).read() is None and time.time() < deadline:
+        time.sleep(0.01)
+    assert store.lease(job).read().owner == "victim"
+    # Frozen victim's heartbeat never advances: the lease expires under
+    # it and the rescuer (chaos arms already consumed) takes the job.
+    rescuer = ClusterWorker(store, worker_id="rescuer").drain()
+    assert rescuer.reclaims == 1 and rescuer.done == 1
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    # Exactly one outcome exists; the duplicate publisher lost cleanly.
+    assert victim.stats.done + rescuer.done == 1
+    assert store.outcome(job)["status"] == "done"
+    assert store.all_terminal()
+
+
+def test_stalled_worker_detects_its_lost_lease(tmp_path, monkeypatch):
+    """``heartbeat=stall``: renewal resumes *after* the takeover and
+    must report the loss to its worker, not overwrite the new owner."""
+    store = fast_store(tmp_path)
+    job = store.job_ids()[0]
+    monkeypatch.setenv("REPRO_CHAOS_MARK_DIR", str(tmp_path / "marks"))
+    monkeypatch.setenv(
+        "REPRO_CHAOS", "heartbeat=stall:2!once,job-start=stall:2.5!once"
+    )
+    victim, thread = drain_in_thread(store, "victim")
+    deadline = time.time() + 10
+    while store.lease(job).read() is None and time.time() < deadline:
+        time.sleep(0.01)
+    rescuer = ClusterWorker(store, worker_id="rescuer").drain()
+    assert rescuer.reclaims == 1 and rescuer.done == 1
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+    # The victim's late renewal saw the new owner and flagged the loss.
+    assert victim.stats.lost_leases == 1
+    assert store.lease(job).read() is None or \
+        store.lease(job).read().owner != "victim"
+    assert store.outcome(job)["status"] == "done"
+
+
+def test_corrupted_live_lease_is_detected_and_reclaimed(tmp_path, monkeypatch):
+    """A torn lease file (failing disk): the owner's renewal fails, the
+    mtime stands in for the heartbeat, and the job is reclaimed."""
+    store = fast_store(tmp_path)
+    job = store.job_ids()[0]
+    monkeypatch.setenv("REPRO_CHAOS_MARK_DIR", str(tmp_path / "marks"))
+    monkeypatch.setenv("REPRO_CHAOS", "job-start=stall:2.5!once")
+    victim, thread = drain_in_thread(store, "victim")
+    deadline = time.time() + 10
+    while store.lease(job).read() is None and time.time() < deadline:
+        time.sleep(0.01)
+    corrupt_file(store.lease(job).path)
+    assert store.lease(job).read().corrupt
+    rescuer = ClusterWorker(store, worker_id="rescuer").drain()
+    assert rescuer.reclaims == 1  # corrupt slot counted as held
+    assert rescuer.done == 1
+    thread.join(timeout=30)
+    # The victim could not renew a corrupt lease: ownership loss detected.
+    assert victim.stats.lost_leases == 1
+    assert store.outcome(job)["status"] == "done"
+
+
+def test_vanished_lease_duplicate_execution_single_outcome(tmp_path, monkeypatch):
+    """Deleting a live lease invites a duplicate claimer on purpose:
+    both workers run the job, exactly one outcome is published, and the
+    cache entry stays complete (deterministic sim + exclusive create)."""
+    store = fast_store(tmp_path)
+    job = store.job_ids()[0]
+    monkeypatch.setenv("REPRO_CHAOS_MARK_DIR", str(tmp_path / "marks"))
+    monkeypatch.setenv("REPRO_CHAOS", "job-start=stall:2.5!once")
+    victim, thread = drain_in_thread(store, "victim")
+    deadline = time.time() + 10
+    while store.lease(job).read() is None and time.time() < deadline:
+        time.sleep(0.01)
+    os.unlink(store.lease(job).path)
+    rescuer = ClusterWorker(store, worker_id="rescuer").drain()
+    assert rescuer.claims == 1 and rescuer.reclaims == 0  # fresh claim
+    thread.join(timeout=30)
+    assert victim.stats.lost_leases == 1  # its renewal found nothing
+    assert victim.stats.done + rescuer.done == 1  # one publisher won
+    outcome = store.outcome(job)
+    assert outcome is not None and outcome["status"] == "done"
+    names = os.listdir(store.outcomes_dir)
+    assert len([n for n in names if n.endswith(".json")]) == 1
+
+
+# ----------------------------------------------------------------------
+# fault class: crash inside an atomic write (satellite 4)
+# ----------------------------------------------------------------------
+def test_crash_mid_atomic_write_never_exposes_partial_file(tmp_path):
+    target = str(tmp_path / "doc.json")
+    code = (
+        "import sys\n"
+        "from repro.core.atomic import atomic_write_json\n"
+        "atomic_write_json(sys.argv[1], {'huge': 'x' * 100000})\n"
+    )
+    env = chaos_env(REPRO_CHAOS="atomic-write=kill")
+    proc = subprocess.run([sys.executable, "-c", code, target],
+                          env=env, timeout=60)
+    assert proc.returncode == -9
+    assert not os.path.exists(target)  # never materialized partially
+    # A pre-existing document survives the same crash untouched.
+    with open(target, "w") as fh:
+        json.dump({"old": True}, fh)
+    proc = subprocess.run([sys.executable, "-c", code, target],
+                          env=env, timeout=60)
+    assert proc.returncode == -9
+    assert json.load(open(target)) == {"old": True}
+    # Without chaos the exact same call lands the new document whole.
+    proc = subprocess.run([sys.executable, "-c", code, target],
+                          env=chaos_env(), timeout=60)
+    assert proc.returncode == 0
+    assert json.load(open(target))["huge"].startswith("x")
+
+
+def test_crash_mid_append_never_garbles_the_log(tmp_path):
+    log = str(tmp_path / "log.jsonl")
+    code = (
+        "import sys\n"
+        "from repro.core.atomic import atomic_append_line\n"
+        "atomic_append_line(sys.argv[1], '{\"n\": 3}')\n"
+    )
+    for n in (1, 2):
+        subprocess.run(
+            [sys.executable, "-c", code.replace('"n": 3', f'"n": {n}'), log],
+            env=chaos_env(), timeout=60, check=True,
+        )
+    proc = subprocess.run(
+        [sys.executable, "-c", code, log],
+        env=chaos_env(REPRO_CHAOS="append-line=kill"), timeout=60,
+    )
+    assert proc.returncode == -9
+    lines = open(log).read().splitlines()
+    assert [json.loads(ln)["n"] for ln in lines] == [1, 2]  # nothing torn
+
+
+# ----------------------------------------------------------------------
+# fault class: mid-simulation crash -> checkpoint-backed recovery
+# ----------------------------------------------------------------------
+def test_cluster_retry_resumes_from_checkpoint_bit_identical(tmp_path, monkeypatch):
+    """A job that dies mid-simulation in cluster mode is retried from
+    its last snapshot (PR 3's restore) and matches an unbroken run."""
+    from repro.cluster.retry import RetryPolicy
+
+    store = fast_store(
+        tmp_path, schedulers=("wg",), retries=1,
+        policy=RetryPolicy(base_s=0.01, cap_s=0.02),
+        runner_kw={"checkpoint_period_ns": 500.0},
+    )
+    job = store.job_ids()[0]
+    monkeypatch.setenv("REPRO_SWEEP_CRASH_AT", "sad:wg:1:1500")
+    stats = ClusterWorker(store, worker_id="w1").drain()
+    assert stats.failed_attempts == 1 and stats.done == 1
+    fails = store.failures(job)
+    assert len(fails) == 1
+    assert fails[0]["error_type"] == "FaultInjectionError"
+    assert fails[0]["checkpoint"]  # the snapshot was found and recorded
+    outcome = store.outcome(job)
+    assert outcome["status"] == "done" and outcome["retries"] == 1
+    assert outcome["resumed"] is True  # finished from the snapshot
+    # Reference: the same job, no crash, fresh cache — identical result.
+    monkeypatch.delenv("REPRO_SWEEP_CRASH_AT")
+    ref = tmp_path / "ref"
+    ref.mkdir()
+    run_sweep(
+        ExperimentRunner(scale=Scale.TINY, seeds=(1,), cache_dir=str(ref),
+                         checkpoint_period_ns=500.0),
+        ["sad"], ["wg"], workers=0, history=False,
+    )
+    assert cache_entries(tmp_path / "cache") == cache_entries(ref)
+
+
+# ----------------------------------------------------------------------
+# fault class: corrupt / truncated checkpoint files
+# ----------------------------------------------------------------------
+def test_corrupt_checkpoints_surface_as_checkpoint_error(tmp_path):
+    """Every flavor of damaged snapshot raises ``CheckpointError`` —
+    never a raw pickle exception the sweep would misclassify."""
+    cases = {
+        "garbage.ckpt": b"\x93NUMPY\x01\x00 this is not a pickle",
+        "empty.ckpt": b"",
+        "truncated.ckpt": pickle.dumps({
+            "format": CHECKPOINT_FORMAT, "version": 1,
+            "config_hash": "x", "next_req_id": 1,
+            "system": list(range(10000)),
+        })[:80],
+        "not-a-dict.ckpt": pickle.dumps([1, 2, 3]),
+        "wrong-format.ckpt": pickle.dumps({"format": "other", "version": 1}),
+        "wrong-version.ckpt": pickle.dumps(
+            {"format": CHECKPOINT_FORMAT, "version": 999}),
+        "missing-keys.ckpt": pickle.dumps(
+            {"format": CHECKPOINT_FORMAT, "version": 1}),
+    }
+    for name, blob in cases.items():
+        path = tmp_path / name
+        path.write_bytes(blob)
+        with pytest.raises(CheckpointError):
+            peek_checkpoint(str(path))
+    with pytest.raises(CheckpointError, match="no checkpoint"):
+        peek_checkpoint(str(tmp_path / "never-written.ckpt"))

@@ -22,10 +22,12 @@ from repro.history.store import (
 )
 
 #: Every key a stored envelope line must carry, exactly — the on-disk
-#: contract old dashboards rely on.  Extending it is a schema bump.
+#: contract old dashboards rely on.  Extending it is a schema bump
+#: (v2 added "worker" and "attempt" for distributed sweeps).
 ENVELOPE_KEYS = {
     "schema_version", "id", "kind", "created_utc", "git_sha",
-    "config_hash", "host", "python", "calibration_ops_per_sec", "payload",
+    "config_hash", "host", "python", "worker", "attempt",
+    "calibration_ops_per_sec", "payload",
 }
 
 
@@ -96,6 +98,35 @@ def test_envelope_calibration_measured_for_other_kinds(store):
     assert record.calibration_ops_per_sec > 0
 
 
+def test_envelope_worker_stamp(store, monkeypatch):
+    monkeypatch.delenv("REPRO_WORKER_ID", raising=False)
+    local = store.append("bench", bench_payload())
+    assert (local.worker, local.attempt) == ("", 0)
+    monkeypatch.setenv("REPRO_WORKER_ID", "host-1234")
+    ambient = store.append("bench", bench_payload())
+    assert ambient.worker == "host-1234"
+    explicit = store.append(
+        "bench", bench_payload(), worker="other", attempt=2
+    )
+    assert (explicit.worker, explicit.attempt) == ("other", 2)
+    got = store.records("bench")
+    assert [(r.worker, r.attempt) for r in got] == [
+        ("", 0), ("host-1234", 0), ("other", 2),
+    ]
+
+
+def test_schema_v1_lines_read_with_defaults(store):
+    # A store written before the v2 bump has no worker/attempt keys.
+    doc = store.append("bench", bench_payload()).to_dict()
+    del doc["worker"], doc["attempt"]
+    doc["schema_version"] = 1
+    with open(store.path("bench"), "w") as fh:
+        fh.write(json.dumps(doc) + "\n")
+    (record,) = store.records("bench")
+    assert (record.worker, record.attempt) == ("", 0)
+    assert record.schema_version == 1
+
+
 def test_kinds_ordering_known_first(store):
     store.append("zcustom", {"anything": 1})
     store.append("fuzz", fuzz_payload())
@@ -139,6 +170,51 @@ def test_missing_directory_reads_empty(tmp_path):
     assert store.records() == []
     assert store.kinds() == []
     assert store.latest("bench") is None
+
+
+# ----------------------------------------------------------------------
+# concurrent writers (the distributed-sweep case)
+# ----------------------------------------------------------------------
+def _torture_writer(root: str, writer: int, n: int) -> None:
+    store = HistoryStore(root)
+    payload = fuzz_payload()
+    for i in range(n):
+        store.append(
+            "fuzz", payload, worker=f"w{writer}", attempt=i, strict=False
+        )
+
+
+def test_parallel_appends_never_garble_lines(tmp_path):
+    """Satellite: O_APPEND single-write appends under real concurrency.
+
+    Eight processes hammer one JSONL file; every line must parse, carry
+    the full envelope, and every (writer, attempt) pair must land —
+    nothing torn, spliced, or lost.
+    """
+    import multiprocessing
+
+    root = str(tmp_path / "history")
+    n_writers, n_each = 8, 25
+    ctx = multiprocessing.get_context()
+    procs = [
+        ctx.Process(target=_torture_writer, args=(root, w, n_each))
+        for w in range(n_writers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+    lines = open(os.path.join(root, "fuzz.jsonl")).read().splitlines()
+    assert len(lines) == n_writers * n_each
+    seen = set()
+    for line in lines:
+        doc = json.loads(line)  # raises on any torn/spliced line
+        assert set(doc) == ENVELOPE_KEYS
+        seen.add((doc["worker"], doc["attempt"]))
+    assert seen == {
+        (f"w{w}", i) for w in range(n_writers) for i in range(n_each)
+    }
 
 
 # ----------------------------------------------------------------------

@@ -1,7 +1,9 @@
 """Tests for the robust parallel sweep harness (repro.analysis.sweep)."""
 
 import json
+import multiprocessing
 import os
+import time
 
 import pytest
 
@@ -285,3 +287,80 @@ def test_manifest_prunes_malformed_rows(tmp_path):
     path.write_text(json.dumps(doc))
     run_sweep(tiny_runner(tmp_path), ["sad"], ["gmc"], workers=0, resume=True)
     assert "bogus-row" not in load_manifest(str(tmp_path))
+
+
+# ---------------------------------------------------------------------------
+# per-job timeout supervision and the shared retry policy
+# ---------------------------------------------------------------------------
+def test_hung_job_is_killed_at_timeout_not_abandoned(tmp_path, monkeypatch):
+    """Regression (the abandoned-worker bug): a job that hung past its
+    timeout used to have its future cancelled while the worker process
+    kept running — and kept its pool slot — indefinitely.  The per-job
+    supervisor must SIGKILL the worker at the deadline."""
+    monkeypatch.setenv("REPRO_CHAOS", "job-start=stall:60")
+    t0 = time.time()
+    report = run_sweep(
+        tiny_runner(tmp_path), ["sad"], ["gmc"],
+        workers=1, timeout_s=1.0, retries=0,
+    )
+    elapsed = time.time() - t0
+    assert report.n_failed == 1
+    assert report.failed[0].error_type == "TimeoutError"
+    assert "timeout after 1s" in report.failed[0].error
+    assert elapsed < 30  # nowhere near the 60s hang
+    assert multiprocessing.active_children() == []  # worker actually dead
+    entry = next(iter(load_manifest(str(tmp_path)).values()))
+    assert entry["status"] == "failed" and entry["error_type"] == "TimeoutError"
+
+
+def test_worker_killed_without_result_is_detected(tmp_path, monkeypatch):
+    """A worker that dies without reporting (OOM killer) is classified
+    as a crash, not a hang — and does not poison the rest of the sweep."""
+    monkeypatch.setenv("REPRO_CHAOS", "job-start=kill")
+    report = run_sweep(
+        tiny_runner(tmp_path), ["sad"], ["gmc"],
+        workers=1, timeout_s=60.0, retries=0,
+    )
+    assert report.n_failed == 1
+    assert report.failed[0].error_type == "WorkerCrashed"
+    assert "died without reporting" in report.failed[0].error
+
+
+def test_crashed_worker_is_retried_once_chaos_passes(tmp_path, monkeypatch):
+    """``!once`` chaos: the first attempt is SIGKILLed, the retry runs
+    clean — proving the supervisor's retry path end to end."""
+    monkeypatch.setenv("REPRO_CHAOS_MARK_DIR", str(tmp_path / "marks"))
+    monkeypatch.setenv("REPRO_CHAOS", "job-start=kill!once")
+    report = run_sweep(
+        tiny_runner(tmp_path / "cache"), ["sad"], ["gmc"],
+        workers=1, timeout_s=60.0, retries=1,
+    )
+    assert report.n_failed == 0 and report.n_done == 1
+    (res,) = report.results
+    assert res.retries == 1  # the kill cost exactly one attempt
+
+
+def test_retry_policy_paces_local_retries(tmp_path, monkeypatch):
+    """Satellite: the seeded backoff policy is honored by both local
+    dispatch paths (inline and pool), with the deterministic delay
+    visible in the progress log."""
+    from repro.cluster.retry import RetryPolicy
+
+    policy = RetryPolicy(base_s=0.4, jitter=0.0)  # exact, no jitter
+    for workers in (0, 2):
+        cache = tmp_path / f"w{workers}"
+        cache.mkdir()
+        monkeypatch.setenv("REPRO_SWEEP_CRASH", "sad:gmc:1")
+        lines = []
+        t0 = time.time()
+        report = run_sweep(
+            tiny_runner(cache), ["sad"], ["gmc"],
+            workers=workers, retries=1, retry_policy=policy,
+            progress=lines.append,
+        )
+        elapsed = time.time() - t0
+        assert report.n_failed == 0 and report.n_done == 1
+        (res,) = report.results
+        assert res.retries == 1
+        assert elapsed >= 0.4  # the delay was actually slept, not skipped
+        assert any("retrying" in ln and "0.40s" in ln for ln in lines)
