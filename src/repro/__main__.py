@@ -622,6 +622,20 @@ def cmd_bench(args) -> int:
     )
 
     log = lambda msg: print(f"[bench] {msg}", file=sys.stderr)  # noqa: E731
+    # Build the grid first: the baseline preflight below checks it cell
+    # by cell, so both must exist before any measurement starts.
+    try:
+        jobs = default_jobs(
+            quick=args.quick,
+            schedulers=args.schedulers,
+            scales=args.scales,
+            bench=args.benchmark,
+            seed=args.seed if args.seed is not None else 1,
+            repeats=args.repeats,
+        )
+    except KeyError as exc:
+        print(f"repro bench: error: unknown scale {exc}", file=sys.stderr)
+        return 2
     # Preflight the baseline BEFORE measuring: a missing or malformed
     # reference should fail in milliseconds with a fix, not after the
     # full grid has burned minutes of CPU.
@@ -648,18 +662,25 @@ def cmd_bench(args) -> int:
                 file=sys.stderr,
             )
             return 2
-    try:
-        jobs = default_jobs(
-            quick=args.quick,
-            schedulers=args.schedulers,
-            scales=args.scales,
-            bench=args.benchmark,
-            seed=args.seed if args.seed is not None else 1,
-            repeats=args.repeats,
-        )
-    except KeyError as exc:
-        print(f"repro bench: error: unknown scale {exc}", file=sys.stderr)
-        return 2
+        if args.check:
+            # A gate run must be able to gate every cell it measures:
+            # name the exact missing grid cells, not just the file, so
+            # the fix (re-measure the reference with the same flags) is
+            # obvious before minutes of CPU burn.
+            have = {j["id"] for j in baseline.get("jobs", ())}
+            missing = [j.job_id for j in jobs if j.job_id not in have]
+            if missing:
+                print(
+                    f"repro bench: error: baseline {args.baseline!r} has no "
+                    f"entry for {len(missing)} of {len(jobs)} grid cells:\n"
+                    + "".join(f"    {jid}\n" for jid in missing)
+                    + "  Regenerate it from the reference checkout with the "
+                    "same grid flags\n    python -m repro bench --out "
+                    f"{args.baseline}\n  and commit the result "
+                    "(see docs/performance.md).",
+                    file=sys.stderr,
+                )
+                return 2
     report = run_bench(jobs, progress=log)
     print(report.format())
     if args.out:

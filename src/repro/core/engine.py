@@ -205,10 +205,34 @@ class Engine:
         had_work = not self.empty()
         reached_bound = False
         self._running = True
+        # The dispatch loop below fuses peek_time() + step() — one tier
+        # inspection per event instead of two, no per-event method calls.
+        # Selection order and every tie-break are identical to step()'s
+        # (the bit-identity suite pins this); step() remains the
+        # single-event entry point for external drive loops.
+        near = self._near
+        near_times = self._near_times
+        far = self._queue
+        heappop = heapq.heappop
         try:
             while True:
-                t_next = self.peek_time()
-                if t_next is None:
+                if near_times:
+                    t_next = near_times[0]
+                    from_far = False
+                    if far:
+                        t_far = far[0][0]
+                        # Same instant: the globally smaller seq wins,
+                        # preserving the single-heap insertion-order
+                        # tie-break exactly.
+                        if t_far < t_next or (
+                            t_far == t_next and far[0][1] < near[t_next][0][0]
+                        ):
+                            t_next = t_far
+                            from_far = True
+                elif far:
+                    t_next = far[0][0]
+                    from_far = True
+                else:
                     reached_bound = had_work
                     break
                 if until_ps is not None and t_next > until_ps:
@@ -216,7 +240,22 @@ class Engine:
                     break
                 if stop is not None and stop():
                     break
-                self.step()
+                if from_far:
+                    _, _, fn, args = heappop(far)
+                else:
+                    bucket = near[t_next]
+                    _, fn, args = bucket.pop(0)
+                    if not bucket:
+                        del near[t_next]
+                        heappop(near_times)
+                self.now = t_next
+                self.events_processed += 1
+                if self.profiler is None:
+                    fn(*args)
+                else:
+                    t0 = perf_counter()
+                    fn(*args)
+                    self.profiler.note(fn, perf_counter() - t0)
                 processed += 1
                 if max_events is not None and processed >= max_events:
                     raise SimulationError(

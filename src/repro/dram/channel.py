@@ -35,16 +35,23 @@ class Channel:
         ]
         # Hot timing parameters, resolved once (the earliest-issue queries
         # run per candidate bank per pump wake — property indirection on
-        # the config object is measurable there).
+        # the config object is measurable there).  Pairwise spacings come
+        # from the precomputed legality table rather than the raw
+        # parameters: each is the *total* floor between two commands with
+        # the tCK command-bus term already folded in (bit-identical — see
+        # TimingLegality's dominance argument), so every query is a
+        # max() over adds with no parameter branches left.
+        leg = timing.legality
         self._tck = timing.tck_ps
-        self._trrd = timing.trrd_ps
-        self._tfaw = timing.tfaw_ps
-        self._tccdl = timing.tccdl_ps
-        self._tccds = timing.tccds_ps
+        self._act_act = leg.pair_ps[leg.ACT][leg.ACT][0]  # group-blind
+        self._ccd_diff, self._ccd_same = leg.pair_ps[leg.RD][leg.RD]
+        self._rd_lead = leg.read_cmd_lead_ps
+        self._wr_lead = leg.write_cmd_lead_ps
+        self._rd2wr = leg.rd_data_to_wr_cmd_ps
+        self._wr2rd = leg.wr_data_to_rd_cmd_ps
+        self._tfaw = leg.faw_window_ps
         self._twl = timing.twl_ps
         self._tcas = timing.tcas_ps
-        self._trtrs = timing.trtrs_ps
-        self._twtr = timing.twtr_ps
         self._tburst = timing.tburst_ps
         #: Bumped on every timing-state mutation (any command issue; the
         #: refresh gate bumps it too when it adjusts bank/bus state).
@@ -88,7 +95,9 @@ class Channel:
     # ------------------------------------------------------------------
     def earliest_act(self, bank_idx: int, now: int) -> int:
         b = self.banks[bank_idx]
-        t = max(now, b.earliest_act, self.next_cmd_free, self.last_act_any + self._trrd)
+        # The -(10**15) sentinels need no guard: sentinel + spacing stays
+        # far below any reachable ``now`` and loses every max().
+        t = max(now, b.earliest_act, self.next_cmd_free, self.last_act_any + self._act_act)
         if len(self.act_window) >= 4:
             t = max(t, self.act_window[-4] + self._tfaw)
         return t
@@ -99,25 +108,74 @@ class Channel:
 
     def earliest_col(self, bank_idx: int, is_write: bool, now: int) -> int:
         b = self.banks[bank_idx]
-        t = max(now, b.earliest_col, self.next_cmd_free)
         # Column-to-column spacing depends on bank-group relationship.
-        if self.last_col_cmd > -(10**14):
-            ccd = self._tccdl if b.group == self.last_col_group else self._tccds
-            t = max(t, self.last_col_cmd + ccd)
+        ccd = self._ccd_same if b.group == self.last_col_group else self._ccd_diff
         if is_write:
             # Write data must not start before the bus frees (plus a
             # turnaround bubble after read data).
-            data_lead = self._twl
-            t = max(t, self.data_bus_free - data_lead)
-            if self.last_read_data_end > -(10**14):
-                t = max(t, self.last_read_data_end + self._trtrs - data_lead)
-        else:
-            data_lead = self._tcas
-            t = max(t, self.data_bus_free - data_lead)
-            # tWTR: end of write data -> next read *command*.
-            if self.last_write_data_end > -(10**14):
-                t = max(t, self.last_write_data_end + self._twtr)
-        return t
+            return max(
+                now,
+                b.earliest_col,
+                self.next_cmd_free,
+                self.last_col_cmd + ccd,
+                self.data_bus_free - self._wr_lead,
+                self.last_read_data_end + self._rd2wr,
+            )
+        # tWTR: end of write data -> next read *command*.
+        return max(
+            now,
+            b.earliest_col,
+            self.next_cmd_free,
+            self.last_col_cmd + ccd,
+            self.data_bus_free - self._rd_lead,
+            self.last_write_data_end + self._wr2rd,
+        )
+
+    def scan_terms(self, now: int) -> tuple[int, int, int, int, int, int, int]:
+        """Channel-global earliest-issue terms, hoisted for a bank scan.
+
+        Returns ``(base, act, col_rd, col_wr, ccd_same_t, ccd_diff_t,
+        col_group)``: the per-command floors that do not depend on the
+        candidate bank.  A command scheduler visiting every bank combines
+        them with per-bank state only::
+
+            PRE: max(base, bank.earliest_pre)
+            ACT: max(act, bank.earliest_act)
+            RD : max(col_rd, ccd_t(bank.group), bank.earliest_col)
+            WR : max(col_wr, ccd_t(bank.group), bank.earliest_col)
+
+        where ``ccd_t(group)`` is ``ccd_same_t`` when ``group ==
+        col_group`` else ``ccd_diff_t``.  Each formula folds exactly the
+        terms of the corresponding ``earliest_*`` query, so the combined
+        value is bit-identical to calling it — the scan just stops
+        recomputing the shared terms per bank.
+        """
+        base = now if now > self.next_cmd_free else self.next_cmd_free
+        act = max(base, self.last_act_any + self._act_act)
+        if len(self.act_window) >= 4:
+            faw = self.act_window[-4] + self._tfaw
+            if faw > act:
+                act = faw
+        col_rd = max(
+            base,
+            self.data_bus_free - self._rd_lead,
+            self.last_write_data_end + self._wr2rd,
+        )
+        col_wr = max(
+            base,
+            self.data_bus_free - self._wr_lead,
+            self.last_read_data_end + self._rd2wr,
+        )
+        last_col = self.last_col_cmd
+        return (
+            base,
+            act,
+            col_rd,
+            col_wr,
+            last_col + self._ccd_same,
+            last_col + self._ccd_diff,
+            self.last_col_group,
+        )
 
     def earliest_for_request(
         self, bank_idx: int, row: int, is_write: bool, now: int

@@ -37,7 +37,9 @@ summary (``determinism``); attaching telemetry must not perturb results
 (``telemetry-perturbation``); checkpoint mid-run + restore ⇒ identical
 final stats (``checkpoint-restore``); scaling every timing by k scales
 time-valued metrics by exactly k and leaves dimensionless ones untouched
-(``timing-scale``).
+(``timing-scale``); the vectorized front-end pool's coalesced lines and
+routes must equal the scalar coalescer + address decomposition per memory
+op (``frontend-differential`` — a pure stream comparison, no simulation).
 """
 
 from __future__ import annotations
@@ -72,6 +74,7 @@ __all__ = [
     "check_telemetry",
     "check_checkpoint",
     "check_timing_scale",
+    "check_frontend",
     "scale_timings",
     "run_oracle",
 ]
@@ -445,7 +448,63 @@ def check_timing_scale(config: SimConfig, trace: KernelTrace, scheduler: str,
         )
 
 
-_METAMORPHIC = (check_determinism, check_telemetry, check_checkpoint, check_timing_scale)
+def check_frontend(config: SimConfig, trace: KernelTrace, scheduler: str,
+                   baseline: Optional[SimStats] = None) -> None:
+    """Vectorized front end == scalar coalescer + decomposition, per op.
+
+    Compares the :class:`~repro.gpu.frontend.FrontEndPool` built for this
+    (config, trace) against the scalar reference for *every* memory op:
+    same coalesced line list (order included — the interconnect relies on
+    first-appearance order) and same (channel, bank, row, col) routes.
+    A pure stream comparison — no simulation runs, so it is also the
+    cheapest minimizer predicate of the metamorphic family.  Traces the
+    pool cannot represent fall back to the scalar path by construction
+    and pass trivially.  ``scheduler``/``baseline`` are accepted for the
+    metamorphic signature but unused: the front end is scheduler-blind.
+    """
+    from repro.gpu.address_map import AddressMap
+    from repro.gpu.coalescer import coalesce
+    from repro.gpu.frontend import FrontEndPool, FrontendUnsupported
+
+    amap = AddressMap(config.dram_org)
+    line_bytes = config.dram_org.line_bytes
+    for sm_id, bucket in enumerate(trace.by_sm(config.gpu.num_sms)):
+        try:
+            pool = FrontEndPool(bucket, line_bytes, amap)
+        except FrontendUnsupported:
+            continue  # scalar fallback applies; nothing to compare
+        for pos, wt in enumerate(bucket):
+            for seg_idx, seg in enumerate(wt.segments):
+                entry = pool.op(pos, seg_idx)
+                if seg.mem is None:
+                    if entry is not None:
+                        raise OracleFailure(
+                            "frontend-differential",
+                            f"sm {sm_id} warp {wt.warp_id} segment {seg_idx} "
+                            f"has no memory op but the pool holds one",
+                        )
+                    continue
+                op_id, lines, routes = entry
+                expect_lines = coalesce(seg.mem.lane_addrs, line_bytes)
+                if lines != expect_lines:
+                    raise OracleFailure(
+                        "frontend-differential",
+                        f"sm {sm_id} warp {wt.warp_id} segment {seg_idx} "
+                        f"(op {op_id}): pool coalesced to {lines} but the "
+                        f"scalar coalescer produced {expect_lines}",
+                    )
+                expect_routes = [amap.decompose(line) for line in expect_lines]
+                if routes != expect_routes:
+                    raise OracleFailure(
+                        "frontend-differential",
+                        f"sm {sm_id} warp {wt.warp_id} segment {seg_idx} "
+                        f"(op {op_id}): pool routes {routes} != scalar "
+                        f"decomposition {expect_routes}",
+                    )
+
+
+_METAMORPHIC = (check_determinism, check_telemetry, check_checkpoint,
+                check_timing_scale, check_frontend)
 
 #: Stable catalogue (oracle name -> short description) for docs/CLI.
 ORACLES = {
@@ -460,6 +519,7 @@ ORACLES = {
     "telemetry-perturbation": "telemetry on/off does not change results",
     "checkpoint-restore": "checkpoint + restore reproduces the uninterrupted run",
     "timing-scale": "scaling timings by k scales time metrics by k",
+    "frontend-differential": "vectorized front-end pool == scalar coalesce + decompose",
 }
 
 
@@ -470,7 +530,7 @@ def check_case(config: SimConfig, trace: KernelTrace, schedulers: list[str],
                case_index: int = 0) -> None:
     """Run every oracle family on one case; raises the first failure.
 
-    The four metamorphic oracles rotate over ``case_index`` (one per
+    The five metamorphic oracles rotate over ``case_index`` (one per
     case, on a rotating designated scheduler) to keep per-case cost at
     roughly ``len(schedulers) + 2`` simulations.
     """
@@ -512,6 +572,8 @@ def run_oracle(oracle: str, config: SimConfig, trace: KernelTrace,
             check_checkpoint(config, trace, schedulers[0])
         elif oracle == "timing-scale":
             check_timing_scale(config, trace, schedulers[0])
+        elif oracle == "frontend-differential":
+            check_frontend(config, trace, schedulers[0])
         else:
             raise ValueError(f"unknown oracle {oracle!r}; known: {sorted(ORACLES)}")
     except OracleFailure as failure:

@@ -1,0 +1,249 @@
+"""Vectorized SM front end: pooled struct-of-arrays request batches.
+
+The SM front end used to pay per-lane Python costs on the hot path: every
+vector memory instruction re-ran the scalar coalescer over its 32 lane
+addresses and every resulting request was decomposed into
+(channel, bank, row, col) one at a time.  Both computations are pure
+functions of the kernel trace and the configuration, so this module moves
+them to *construction time* and batches them across every memory op of an
+SM at once with numpy:
+
+* :func:`coalesce_many` — the scalar :func:`repro.gpu.coalescer.coalesce`
+  over all ops simultaneously (stable first-appearance order per op,
+  bit-identical by construction);
+* :class:`FrontEndPool` — one struct-of-arrays pool per SM holding the
+  lane addresses, lane masks, warp ids and issue state of every memory
+  op, plus the materialized per-op line lists and crossbar routes the
+  runtime hot path indexes in O(1).
+
+``REPRO_SCALAR_FRONTEND=1`` is the escape hatch: it keeps the original
+scalar path (coalesce at issue time, route at injection time) selectable
+at :class:`~repro.gpu.system.GPUSystem` construction, which the
+``frontend-differential`` fuzz oracle and the CI scalar-vs-vectorized
+bit-identity check both lean on.  See docs/performance.md (Phase 2).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional, Sequence
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - environment guard
+    raise ImportError(
+        "repro's vectorized front end requires numpy>=1.24; install it with "
+        "`pip install 'numpy>=1.24'` (it is a declared dependency in "
+        "pyproject.toml)"
+    ) from exc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import SimConfig
+    from repro.gpu.address_map import AddressMap
+    from repro.workloads.trace import WarpTrace
+
+__all__ = [
+    "FrontEndPool",
+    "FrontendUnsupported",
+    "build_frontend_pools",
+    "coalesce_many",
+    "scalar_frontend_enabled",
+]
+
+#: Oldest numpy this module is tested against (lexsort/bincount semantics
+#: and the `np.cumsum(..., out=)` signature used below are all old and
+#: stable; 1.24 is where the repo's support window starts).
+NUMPY_MIN_VERSION = (1, 24)
+
+
+def _numpy_version() -> tuple[int, int]:
+    parts = np.__version__.split(".")
+    try:
+        return int(parts[0]), int(parts[1])
+    except (IndexError, ValueError):  # pragma: no cover - exotic builds
+        return NUMPY_MIN_VERSION
+
+
+if _numpy_version() < NUMPY_MIN_VERSION:  # pragma: no cover - environment guard
+    raise RuntimeError(
+        f"repro requires numpy>={'.'.join(map(str, NUMPY_MIN_VERSION))} for its "
+        f"vectorized front end, but numpy {np.__version__} is installed. "
+        "Upgrade with `pip install --upgrade 'numpy>=1.24'`. "
+        "(REPRO_SCALAR_FRONTEND=1 is not a workaround: the trace loaders "
+        "depend on the same numpy APIs.)"
+    )
+
+#: Addresses at or above this cannot be represented in the pool's int64
+#: lane arrays (the -1 lane-mask sentinel also needs the sign bit), so
+#: pool construction refuses them and the system falls back to the
+#: scalar front end.
+MAX_POOL_ADDRESS = 2**62
+
+#: ``FrontEndPool.state`` values.
+OP_PENDING = 0
+OP_ISSUED = 1
+
+
+class FrontendUnsupported(ValueError):
+    """The trace cannot be represented in the SoA pool (scalar fallback)."""
+
+
+def scalar_frontend_enabled() -> bool:
+    """True when ``REPRO_SCALAR_FRONTEND=1`` requests the scalar path.
+
+    Read dynamically (not cached at import) so tests and the fuzz oracle
+    can toggle the mode in-process between system constructions.
+    """
+    return os.environ.get("REPRO_SCALAR_FRONTEND", "") == "1"
+
+
+def coalesce_many(
+    lane_addrs: np.ndarray, line_bytes: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched coalescer: unique line addresses per op, scalar-identical.
+
+    ``lane_addrs`` is an int64 array of shape (n_ops, n_lanes) with ``-1``
+    marking masked-off lanes.  Returns ``(lines, offsets)`` where
+    ``lines[offsets[i]:offsets[i + 1]]`` are op ``i``'s line base
+    addresses in order of first appearance across the lanes — exactly the
+    order the scalar :func:`repro.gpu.coalescer.coalesce` produces, which
+    the interconnect and controllers rely on (requests travel in lane
+    order, as on real hardware).
+
+    The stable-unique is built from one lexsort: sorting (op, line, lane)
+    and keeping each (op, line)'s first row finds the *minimum* lane
+    touching every line; re-sorting those representatives by
+    (op, min lane) is first-appearance order because the scalar pass
+    inserts a line the first time any lane touches it.
+    """
+    n_ops = lane_addrs.shape[0]
+    valid = lane_addrs >= 0
+    op_idx, lane_idx = np.nonzero(valid)
+    lines = lane_addrs[valid] & ~np.int64(line_bytes - 1)
+    order = np.lexsort((lane_idx, lines, op_idx))
+    s_op = op_idx[order]
+    s_line = lines[order]
+    s_lane = lane_idx[order]
+    first = np.empty(len(s_op), dtype=bool)
+    if len(s_op):
+        first[0] = True
+        np.logical_or(s_op[1:] != s_op[:-1], s_line[1:] != s_line[:-1], out=first[1:])
+    rep_op = s_op[first]
+    rep_line = s_line[first]
+    rep_lane = s_lane[first]
+    appearance = np.lexsort((rep_lane, rep_op))
+    out_lines = rep_line[appearance]
+    counts = np.bincount(rep_op, minlength=n_ops)
+    offsets = np.zeros(n_ops + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return out_lines, offsets
+
+
+class FrontEndPool:
+    """Struct-of-arrays pool of one SM's coalesced memory operations.
+
+    Built once at system construction from the SM's warp traces:
+
+    * ``addresses``  — int64 (n_ops, max_lanes) lane addresses, -1 = masked;
+    * ``lane_mask``  — bool (n_ops, max_lanes) active-lane mask;
+    * ``warp_ids``   — int64 (n_ops,) issuing warp of each op;
+    * ``is_write``   — bool (n_ops,);
+    * ``state``      — uint8 (n_ops,) issue state (``OP_PENDING``/``OP_ISSUED``).
+
+    plus, per op, the *materialized* coalesced line list and its
+    (channel, bank, row, col) routes — plain Python ints (``tolist()``),
+    because line addresses flow into JSON summaries and Perfetto traces
+    where a leaked ``np.int64`` would break serialization and hashing.
+    The hot path (:meth:`op`) is a pair of list indexes; every numpy
+    operation happens here, before the timed run starts.
+
+    Ops are keyed by ``(warp position in the SM, segment index)`` rather
+    than object identity so pools pickle cleanly into checkpoints.
+    """
+
+    def __init__(
+        self,
+        warps: Sequence["WarpTrace"],
+        line_bytes: int,
+        amap: "AddressMap",
+    ) -> None:
+        self.line_bytes = line_bytes
+        specs: list[tuple[int, int, list]] = []  # (pos, seg_idx, lane_addrs)
+        max_lanes = 1
+        for pos, wt in enumerate(warps):
+            for seg_idx, seg in enumerate(wt.segments):
+                if seg.mem is not None:
+                    specs.append((pos, seg_idx, seg.mem.lane_addrs))
+                    if len(seg.mem.lane_addrs) > max_lanes:
+                        max_lanes = len(seg.mem.lane_addrs)
+        n_ops = len(specs)
+        self.n_ops = n_ops
+        self.addresses = np.full((n_ops, max_lanes), -1, dtype=np.int64)
+        self.warp_ids = np.empty(n_ops, dtype=np.int64)
+        self.is_write = np.zeros(n_ops, dtype=bool)
+        self.state = np.zeros(n_ops, dtype=np.uint8)
+        for i, (pos, seg_idx, lanes) in enumerate(specs):
+            wt = warps[pos]
+            self.warp_ids[i] = wt.warp_id
+            self.is_write[i] = wt.segments[seg_idx].mem.is_write
+            row = self.addresses[i]
+            for j, a in enumerate(lanes):
+                if a is not None:
+                    if a >= MAX_POOL_ADDRESS:
+                        raise FrontendUnsupported(
+                            f"lane address {a:#x} exceeds the pool's int64 "
+                            f"range (warp {wt.warp_id}, segment {seg_idx})"
+                        )
+                    row[j] = a
+        self.lane_mask = self.addresses >= 0
+
+        lines, offsets = coalesce_many(self.addresses, line_bytes)
+        channel, bank, drow, col = amap.decompose_many(lines)
+        # Materialize to Python ints once: addresses and routes cross into
+        # MemoryRequest fields and JSON-facing telemetry.
+        lines_l = lines.tolist()
+        routes_l = list(zip(channel.tolist(), bank.tolist(), drow.tolist(), col.tolist()))
+        # (op id, lines, routes) per (warp pos, segment index); None for
+        # segments without a memory op.
+        self._ops: list[list[Optional[tuple]]] = [
+            [None] * len(wt.segments) for wt in warps
+        ]
+        for i, (pos, seg_idx, _lanes) in enumerate(specs):
+            lo = int(offsets[i])
+            hi = int(offsets[i + 1])
+            self._ops[pos][seg_idx] = (i, lines_l[lo:hi], routes_l[lo:hi])
+
+    def op(self, pos: int, seg_idx: int) -> tuple:
+        """(op id, line list, route list) of one warp's memory op."""
+        return self._ops[pos][seg_idx]
+
+    @property
+    def requests_total(self) -> int:
+        """Coalesced requests across every op (pool-wide, for diagnostics)."""
+        return sum(
+            len(entry[1])
+            for per_warp in self._ops
+            for entry in per_warp
+            if entry is not None
+        )
+
+
+def build_frontend_pools(
+    buckets: Sequence[Sequence["WarpTrace"]],
+    config: "SimConfig",
+    amap: "AddressMap",
+) -> Optional[list[FrontEndPool]]:
+    """One pool per SM, or ``None`` when the scalar front end applies.
+
+    ``None`` is returned both for the explicit ``REPRO_SCALAR_FRONTEND=1``
+    escape hatch and for traces the pool cannot represent (addresses
+    beyond the int64 sentinel range) — the caller falls back to the
+    scalar path in either case.
+    """
+    if scalar_frontend_enabled():
+        return None
+    line_bytes = config.dram_org.line_bytes
+    try:
+        return [FrontEndPool(bucket, line_bytes, amap) for bucket in buckets]
+    except FrontendUnsupported:
+        return None

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from functools import partial
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.core.config import SimConfig
 from repro.core.engine import Engine
@@ -24,6 +24,7 @@ from repro.core.request import LoadTransaction, MemoryRequest
 from repro.core.stats import LoadRecord, SimStats
 from repro.gpu.cache import MSHR, Cache
 from repro.gpu.coalescer import CoalescerStats, coalesce
+from repro.gpu.frontend import OP_ISSUED, FrontEndPool
 from repro.gpu.warp import WarpState, WarpStatus
 from repro.workloads.trace import MemOp, Segment, WarpTrace
 
@@ -44,6 +45,8 @@ class SMCore:
         on_warp_done: Callable[[WarpState], None],
         sim_stats: SimStats,
         coal_stats: CoalescerStats,
+        frontend: Optional[FrontEndPool] = None,
+        send_requests: Optional[Callable[[list], None]] = None,
     ) -> None:
         self.engine = engine
         self.sm_id = sm_id
@@ -62,12 +65,18 @@ class SMCore:
             self.tlb = None
         self.line_bytes = config.dram_org.line_bytes
         self.send_request = send_request
+        self.send_requests = send_requests or self._send_each
         self.group_complete_cb = group_complete_cb
         self.on_warp_done = on_warp_done
         self.sim_stats = sim_stats
         self.coal_stats = coal_stats
+        #: Pre-coalesced SoA op pool; None selects the scalar front end
+        #: (REPRO_SCALAR_FRONTEND=1 or a directly constructed SMCore).
+        self.frontend = frontend
 
-        self.pending: deque[WarpState] = deque(WarpState(t) for t in warps)
+        self.pending: deque[WarpState] = deque(
+            WarpState(t, pos) for pos, t in enumerate(warps)
+        )
         self.resident_count = 0
         self.issue_free = 0  # issue-server availability (ps)
         self.warps_finished = 0
@@ -101,14 +110,15 @@ class SMCore:
 
     def _segment_done(self, w: WarpState, seg: Segment) -> None:
         self.sim_stats.warp_instructions += seg.instructions
+        pc = w.pc  # segment index, the front-end pool's second key
         w.advance()
         if seg.mem is None:
             self._run(w)
         elif seg.mem.is_write:
-            self._issue_store(w, seg.mem)
+            self._issue_store(w, seg.mem, pc)
             self._run(w)  # stores are fire-and-forget
         else:
-            self._issue_load(w, seg.mem)
+            self._issue_load(w, seg.mem, pc)
 
     def _finish(self, w: WarpState) -> None:
         w.status = WarpStatus.DONE
@@ -121,9 +131,17 @@ class SMCore:
     # ------------------------------------------------------------------
     # memory instructions
     # ------------------------------------------------------------------
-    def _issue_load(self, w: WarpState, mem: MemOp) -> None:
+    def _issue_load(self, w: WarpState, mem: MemOp, pc: int) -> None:
         now = self.engine.now
-        lines = coalesce(mem.lane_addrs, self.line_bytes, self.coal_stats)
+        fe = self.frontend
+        if fe is None or w.pos < 0:
+            lines = coalesce(mem.lane_addrs, self.line_bytes, self.coal_stats)
+            routes = None
+        else:
+            op_id, lines, routes = fe.op(w.pos, pc)
+            fe.state[op_id] = OP_ISSUED
+            if lines:
+                self.coal_stats.record(len(lines))
         if not lines:  # fully masked-off load
             self._run(w)
             return
@@ -160,8 +178,13 @@ class SMCore:
             wreq.transaction = txn
             wreq.t_issue = now
             self.send_request(wreq)
-        for line in lines:
-            if self.l1 is not None and self.l1.lookup(line):
+        # Loads stay per-request on the send side: L1-hit returns are
+        # scheduled interleaved with miss sends, and the engine breaks
+        # time ties by schedule order, so batching the sends would reorder
+        # events.  Only the L1 probes are batched.
+        l1_hits = self.l1.lookup_many(lines) if self.l1 is not None else None
+        for i, line in enumerate(lines):
+            if l1_hits is not None and l1_hits[i]:
                 self.sim_stats.l1_hits += 1
                 self.engine.schedule(self.l1_hit_ps, self._l1_hit_return, txn)
                 continue
@@ -170,6 +193,8 @@ class SMCore:
             )
             req.transaction = txn
             req.t_issue = now
+            if routes is not None:
+                req.channel, req.bank, req.row, req.col = routes[i]
             if self.l1 is not None:
                 primary = self.l1_mshr.allocate(line, (txn, req))
                 if not primary:
@@ -178,15 +203,35 @@ class SMCore:
             self.send_request(req)
         txn.finish_dispatch()
 
-    def _issue_store(self, w: WarpState, mem: MemOp) -> None:
-        lines = coalesce(mem.lane_addrs, self.line_bytes)
-        for line in lines:
-            if self.l1 is not None:
-                self.l1.lookup(line)  # write-through: touch, never dirty
+    def _issue_store(self, w: WarpState, mem: MemOp, pc: int) -> None:
+        fe = self.frontend
+        if fe is None or w.pos < 0:
+            lines = coalesce(mem.lane_addrs, self.line_bytes)
+            routes = None
+        else:
+            op_id, lines, routes = fe.op(w.pos, pc)
+            fe.state[op_id] = OP_ISSUED
+        if not lines:
+            return
+        if self.l1 is not None:
+            self.l1.lookup_many(lines)  # write-through: touch, never dirty
+        now = self.engine.now
+        reqs = []
+        for i, line in enumerate(lines):
             req = MemoryRequest(
                 addr=line, is_write=True, sm_id=self.sm_id, warp_id=w.warp_id
             )
-            req.t_issue = self.engine.now
+            req.t_issue = now
+            if routes is not None:
+                req.channel, req.bank, req.row, req.col = routes[i]
+            reqs.append(req)
+        # Stores schedule nothing SM-side between sends, so the whole op
+        # can be injected as one batch without perturbing event order.
+        self.send_requests(reqs)
+
+    def _send_each(self, reqs: list) -> None:
+        """Fallback batched send for directly constructed SMCores."""
+        for req in reqs:
             self.send_request(req)
 
     def _l1_hit_return(self, txn: LoadTransaction) -> None:

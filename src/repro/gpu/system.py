@@ -20,6 +20,7 @@ from repro.core.stats import SimStats
 from repro.dram.validate import StreamingAuditor
 from repro.gpu.address_map import AddressMap
 from repro.gpu.coalescer import CoalescerStats
+from repro.gpu.frontend import build_frontend_pools
 from repro.gpu.interconnect import Crossbar
 from repro.gpu.partition import MemoryPartition
 from repro.gpu.sm import SMCore
@@ -124,6 +125,9 @@ class GPUSystem:
                         )
 
         buckets = kernel.by_sm(config.gpu.num_sms)
+        # Pre-coalesced SoA request pools, one per SM (None = scalar mode,
+        # via REPRO_SCALAR_FRONTEND=1 or an unsupported trace).
+        self.frontends = build_frontend_pools(buckets, config, self.amap)
         self.sms = [
             SMCore(
                 self.engine,
@@ -135,6 +139,10 @@ class GPUSystem:
                 on_warp_done=self._warp_done,
                 sim_stats=self.stats,
                 coal_stats=self.coal_stats,
+                frontend=(
+                    self.frontends[sm_id] if self.frontends is not None else None
+                ),
+                send_requests=self._send_requests,
             )
             for sm_id in range(config.gpu.num_sms)
         ]
@@ -152,7 +160,8 @@ class GPUSystem:
     # routing callbacks
     # ------------------------------------------------------------------
     def _send_request(self, req: MemoryRequest) -> None:
-        self.amap.route(req)
+        if req.channel < 0:  # not pre-routed by the front-end pool
+            self.amap.route(req)
         if self._tracer is not None:
             self._tracer.on_dispatch(req)
         if self.monitor is not None:
@@ -161,6 +170,26 @@ class GPUSystem:
             req.transaction.note_dispatched(req.channel)
         part = self.partitions[req.channel]
         self.xbar.to_partition(req.channel, part.receive, req)
+
+    def _send_requests(self, reqs: list[MemoryRequest]) -> None:
+        """Batched :meth:`_send_request` for a whole coalesced store op."""
+        route = self.amap.route
+        tracer = self._tracer
+        monitor = self.monitor
+        partitions = self.partitions
+        now = self.engine.now
+        items = []
+        for req in reqs:
+            if req.channel < 0:
+                route(req)
+            if tracer is not None:
+                tracer.on_dispatch(req)
+            if monitor is not None:
+                monitor.note_inject(req, now)
+            if req.transaction is not None:
+                req.transaction.note_dispatched(req.channel)
+            items.append((req.channel, partitions[req.channel].receive, req))
+        self.xbar.to_partition_many(items)
 
     def _reply(self, req: MemoryRequest) -> None:
         if self.monitor is not None:

@@ -19,10 +19,13 @@ class WarpStatus(Enum):
 class WarpState:
     """A warp's execution cursor (SIMT: all 32 lanes move together)."""
 
-    __slots__ = ("trace", "pc", "status", "loads_completed", "t_finished")
+    __slots__ = ("trace", "pc", "status", "loads_completed", "t_finished", "pos")
 
-    def __init__(self, trace: WarpTrace) -> None:
+    def __init__(self, trace: WarpTrace, pos: int = -1) -> None:
         self.trace = trace
+        #: Index of this warp within its SM's warp list — the front-end
+        #: pool's first key (see :class:`repro.gpu.frontend.FrontEndPool`).
+        self.pos = pos
         self.pc = 0
         self.status = WarpStatus.PENDING
         self.loads_completed = 0

@@ -39,6 +39,13 @@ from repro.telemetry.hub import NULL_PROBE, TelemetryHub
 
 __all__ = ["MemoryController"]
 
+# Enum members resolved once: the command scheduler's inner loop touches
+# these per candidate bank, and Enum attribute access is a descriptor call.
+_ACT = CommandKind.ACT
+_PRE = CommandKind.PRE
+_RD = CommandKind.RD
+_WR = CommandKind.WR
+
 
 class MemoryController:
     """Base class for all memory controllers."""
@@ -96,6 +103,10 @@ class MemoryController:
         # Command-scheduler round-robin pointers.
         self._group_ptr = 0
         self._bank_ptr = [0] * self.org.num_bank_groups
+        # Visit orders are pure functions of the pointers, which cycle
+        # through at most num_bank_groups * banks_per_group**num_bank_groups
+        # states — memoize them instead of rebuilding the list every scan.
+        self._order_cache: dict[tuple, list[int]] = {}
 
         # Next-legal-issue cache: the result of one full bank scan —
         # ``(cq_version, channel_version, entries, wake)`` where entries is
@@ -267,53 +278,47 @@ class MemoryController:
 
     def _schedule_writes(self, now: int) -> None:
         """FR-FCFS write drain: prefer row hits, then oldest, per bank."""
-        progress = True
-        while progress and self.draining and self.write_queue:
-            progress = False
+        cq = self.cq
+        queues = cq.queues
+        depth = cq.depth
+        predicted_hit = cq.predicted_hit
+        while self.draining and self.write_queue:
             # Pick the best write across banks with queue space.
             best = None
             best_key = None
             for w in self.write_queue:
-                if self.cq.space(w.bank) == 0:
+                if len(queues[w.bank]) >= depth:
                     continue
-                hit = self.cq.predicted_hit(w.bank, w.row)
-                key = (0 if hit else 1, w.t_mc_arrival, w.req_id)
+                key = (0 if predicted_hit(w.bank, w.row) else 1, w.t_mc_arrival, w.req_id)
                 if best_key is None or key < best_key:
                     best, best_key = w, key
-            if best is not None:
-                self.write_queue.remove(best)
-                if self._wq_index.get(best.addr) is best:
-                    del self._wq_index[best.addr]
-                self.cq.insert(best, now)
-                self.stats.drain_writes += 1
-                progress = True
-                self._update_drain_state()
+            if best is None:
+                return
+            self.write_queue.remove(best)
+            if self._wq_index.get(best.addr) is best:
+                del self._wq_index[best.addr]
+            cq.insert(best, now)
+            self.stats.drain_writes += 1
+            self._update_drain_state()
 
     # ------------------------------------------------------------------
     # command scheduler (bank-group aware round robin)
     # ------------------------------------------------------------------
     def _bank_order(self) -> list[int]:
         """Visit banks interleaving bank groups first (GDDR5 command policy)."""
-        ng = self.org.num_bank_groups
-        bpg = self.org.banks_per_group
-        order = []
-        for step in range(bpg):
-            for gi in range(ng):
-                g = (self._group_ptr + gi) % ng
-                b = g * bpg + (self._bank_ptr[g] + step) % bpg
-                order.append(b)
+        key = (self._group_ptr, tuple(self._bank_ptr))
+        order = self._order_cache.get(key)
+        if order is None:
+            ng = self.org.num_bank_groups
+            bpg = self.org.banks_per_group
+            order = []
+            for step in range(bpg):
+                for gi in range(ng):
+                    g = (self._group_ptr + gi) % ng
+                    b = g * bpg + (self._bank_ptr[g] + step) % bpg
+                    order.append(b)
+            self._order_cache[key] = order
         return order
-
-    def _head_command(self, bank: int, head: QueuedRequest, now: int):
-        """(kind, earliest_issue) for the next command of a bank's head."""
-        b = self.channel.banks[bank]
-        row = head.req.row
-        if b.open_row == row:
-            kind = CommandKind.WR if head.req.is_write else CommandKind.RD
-            return kind, self.channel.earliest_col(bank, head.req.is_write, now)
-        if b.open_row is None:
-            return CommandKind.ACT, self.channel.earliest_act(bank, now)
-        return CommandKind.PRE, self.channel.earliest_pre(bank, now)
 
     def _issue_after(self, bank: int, head: QueuedRequest, kind, now: int) -> Optional[int]:
         """Issue ``kind`` on ``bank`` and return the follow-up wake time."""
@@ -354,13 +359,45 @@ class MemoryController:
                         return self._issue_after(bank, head, kind, now)
                 return wake  # unreachable: wake <= now implies a ready entry
             self._scan_cache = None
+        # Fresh scan.  The channel-global terms of each earliest-issue
+        # query are hoisted once (scan_terms); the loop folds in only the
+        # candidate bank's own state, combining to the exact value the
+        # earliest_act/earliest_pre/earliest_col calls it replaces would
+        # return (see Channel.scan_terms).
+        channel = self.channel
+        banks = channel.banks
+        queues = self.cq.queues
+        base, act_t, col_rd, col_wr, ccd_same_t, ccd_diff_t, col_group = (
+            channel.scan_terms(now)
+        )
         best_earliest: Optional[int] = None
         entries = []
         for bank in self._bank_order():
-            head = self.cq.head(bank)
-            if head is None:
+            q = queues[bank]
+            if not q:
                 continue
-            kind, earliest = self._head_command(bank, head, now)
+            head = q[0]
+            b = banks[bank]
+            req = head.req
+            open_row = b.open_row
+            if open_row == req.row:
+                if req.is_write:
+                    kind = _WR
+                    earliest = col_wr
+                else:
+                    kind = _RD
+                    earliest = col_rd
+                ccd_t = ccd_same_t if b.group == col_group else ccd_diff_t
+                if ccd_t > earliest:
+                    earliest = ccd_t
+                if b.earliest_col > earliest:
+                    earliest = b.earliest_col
+            elif open_row is None:
+                kind = _ACT
+                earliest = act_t if act_t > b.earliest_act else b.earliest_act
+            else:
+                kind = _PRE
+                earliest = base if base > b.earliest_pre else b.earliest_pre
             if earliest <= now:
                 return self._issue_after(bank, head, kind, now)
             entries.append((bank, head, kind, earliest))

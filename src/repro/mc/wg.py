@@ -47,6 +47,10 @@ class WGController(MemoryController):
         # stays valid until one of those versions moves.
         self._pick_none: Optional[tuple[int, int]] = None
         self._fallback_noop: Optional[tuple[int, int]] = None
+        # True when this controller uses the stock rank key, enabling
+        # _pick_with_room's inline prefix comparison (the inline copy of
+        # the key's first two fields must track _rank_key).
+        self._rank_is_default = type(self)._rank_key is WGController._rank_key
 
     # -- base hooks -----------------------------------------------------------
     def _accept_read(self, req: MemoryRequest) -> None:
@@ -108,16 +112,43 @@ class WGController(MemoryController):
             return None
         score_fn = WarpSorter.score
         cq = self.cq
+        queues = cq.queues
+        depth = cq.depth
+        rank_key = self._rank_key  # polymorphic: WG-W/WG-Share override it
+        default_rank = self._rank_is_default
+        age_threshold = self.age_threshold_ps
         best_key = None
         best: Optional[WarpGroupEntry] = None
         best_score = 0
-        for e in self.sorter.complete_groups():
+        # complete_groups() and _room_for() inlined: this min-scan runs
+        # per pump over every resident group, and the per-group property/
+        # generator/method dispatch dominates the comparison itself.
+        for e in self.sorter.groups.values():
+            if e.n_requests == 0 or e.expected is None or e.received < e.expected:
+                continue  # not schedulable: empty or incomplete
             score, hits = score_fn(e, cq)
-            key = self._rank_key(e, score, hits, now)
-            if (best_key is None or key < best_key) and self._room_for(e):
-                best_key = key
-                best = e
-                best_score = score
+            if default_rank:
+                # Inline copy of _rank_key's (overage, score) prefix: a
+                # strictly worse prefix cannot beat best_key (keys are
+                # compared lexicographically and end in the unique group
+                # key), so losers skip the full tuple build.
+                overage = 0 if now - e.arrival_ps > age_threshold else 1
+                if best_key is not None and (
+                    overage > best_key[0]
+                    or (overage == best_key[0] and score > best_key[1])
+                ):
+                    continue
+                key = (overage, score, -hits, e.arrival_ps, e.key)
+            else:
+                key = rank_key(e, score, hits, now)
+            if best_key is None or key < best_key:
+                for bank in e.by_bank:  # room in every touched bank queue
+                    if len(queues[bank]) >= depth:
+                        break
+                else:
+                    best_key = key
+                    best = e
+                    best_score = score
         if best is None:
             self._pick_none = state
             return None

@@ -1,0 +1,259 @@
+"""Tests for the vectorized SM front end (repro.gpu.frontend).
+
+The pool's one contract is *bit-identity by construction*: for every
+memory op it must hand the runtime exactly the line list the scalar
+coalescer would have computed at issue time, with exactly the routes the
+scalar address decomposition would have produced at injection time.  The
+property tests drive that contract over adversarial lane masks
+(hypothesis) and the whole-system test pins scalar-vs-vectorized summary
+equality on a real workload.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.request as request_mod
+from repro.core.config import DRAMOrgConfig, SimConfig
+from repro.gpu.address_map import AddressMap
+from repro.gpu.coalescer import coalesce
+from repro.gpu.frontend import (
+    MAX_POOL_ADDRESS,
+    OP_ISSUED,
+    OP_PENDING,
+    FrontEndPool,
+    FrontendUnsupported,
+    build_frontend_pools,
+    coalesce_many,
+    scalar_frontend_enabled,
+)
+from repro.gpu.system import GPUSystem
+from repro.workloads.suite import Scale, build_benchmark
+from repro.workloads.trace import KernelTrace, MemOp, Segment, WarpTrace
+
+LINE = 128
+
+
+def _as_pool_array(op_lanes: list[list]) -> np.ndarray:
+    max_lanes = max(len(lanes) for lanes in op_lanes)
+    arr = np.full((len(op_lanes), max_lanes), -1, dtype=np.int64)
+    for i, lanes in enumerate(op_lanes):
+        for j, a in enumerate(lanes):
+            if a is not None:
+                arr[i, j] = a
+    return arr
+
+
+def _assert_matches_scalar(op_lanes: list[list]) -> None:
+    lines, offsets = coalesce_many(_as_pool_array(op_lanes), LINE)
+    assert int(offsets[0]) == 0
+    assert int(offsets[-1]) == len(lines)
+    for i, lanes in enumerate(op_lanes):
+        got = lines[offsets[i]:offsets[i + 1]].tolist()
+        assert got == coalesce(lanes, LINE), f"op {i} diverged"
+
+
+# ---------------------------------------------------------------------------
+# batched coalescer == scalar coalescer
+# ---------------------------------------------------------------------------
+# Small addresses collide on cache lines constantly: the duplicate-line
+# merge path gets exercised in nearly every example.
+_colliding_lanes = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=4 * LINE - 1)),
+    min_size=1,
+    max_size=8,
+)
+# Wide addresses exercise ordering over many distinct lines and ragged
+# lane counts up to a full 32-lane warp.
+_wide_lanes = st.lists(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=2**40)),
+    min_size=1,
+    max_size=32,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_colliding_lanes, min_size=1, max_size=6))
+def test_coalesce_many_matches_scalar_on_colliding_lines(op_lanes):
+    _assert_matches_scalar(op_lanes)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_wide_lanes, min_size=1, max_size=6))
+def test_coalesce_many_matches_scalar_on_wide_addresses(op_lanes):
+    _assert_matches_scalar(op_lanes)
+
+
+def test_coalesce_many_named_edge_cases():
+    _assert_matches_scalar([[None] * 32])  # fully masked-off op
+    _assert_matches_scalar([[640]])  # single live lane
+    _assert_matches_scalar([[0, 1, 127, 128]])  # duplicate-segment mask
+    _assert_matches_scalar([[LINE * 3] * 32])  # every lane on one line
+    # First-appearance order: lane 0 touches the *higher* line first.
+    _assert_matches_scalar([[LINE * 9, LINE * 2, None, LINE * 9]])
+    # Mixed ops in one batch, including empties between live ops.
+    _assert_matches_scalar([[None], [LINE, 0], [None, None], [5, 5, 5]])
+
+
+def test_coalesce_many_empty_batch():
+    lines, offsets = coalesce_many(np.empty((0, 32), dtype=np.int64), LINE)
+    assert lines.size == 0
+    assert offsets.tolist() == [0]
+
+
+def test_coalesce_many_returns_plain_line_bases():
+    lines, _ = coalesce_many(_as_pool_array([[LINE + 5, 2 * LINE]]), LINE)
+    assert lines.tolist() == [LINE, 2 * LINE]
+
+
+# ---------------------------------------------------------------------------
+# vectorized address decomposition == scalar decomposition
+# ---------------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**48), min_size=1, max_size=64),
+    st.sampled_from(
+        [
+            DRAMOrgConfig(),
+            DRAMOrgConfig(num_channels=1),
+            DRAMOrgConfig(num_channels=8, banks_per_channel=8, banks_per_group=8),
+        ]
+    ),
+)
+def test_decompose_many_matches_scalar(addrs, org):
+    amap = AddressMap(org)
+    ch, bank, row, col = amap.decompose_many(np.asarray(addrs, dtype=np.int64))
+    for i, addr in enumerate(addrs):
+        assert (
+            int(ch[i]), int(bank[i]), int(row[i]), int(col[i])
+        ) == amap.decompose(addr)
+
+
+# ---------------------------------------------------------------------------
+# the pool against a scalar walk of a real kernel
+# ---------------------------------------------------------------------------
+def _walk_and_compare(bucket, pool, amap, line_bytes):
+    n_mem_ops = 0
+    for pos, wt in enumerate(bucket):
+        for seg_idx, seg in enumerate(wt.segments):
+            entry = pool.op(pos, seg_idx)
+            if seg.mem is None:
+                assert entry is None
+                continue
+            n_mem_ops += 1
+            op_id, lines, routes = entry
+            assert pool.warp_ids[op_id] == wt.warp_id
+            assert bool(pool.is_write[op_id]) == seg.mem.is_write
+            assert lines == coalesce(seg.mem.lane_addrs, line_bytes)
+            assert routes == [amap.decompose(line) for line in lines]
+            assert all(type(line) is int for line in lines)  # JSON-safe
+    assert pool.n_ops == n_mem_ops
+
+
+def test_pool_matches_scalar_walk_on_bfs_tiny():
+    config = SimConfig()
+    trace = build_benchmark("bfs", config, Scale.TINY, seed=1)
+    amap = AddressMap(config.dram_org)
+    buckets = trace.by_sm(config.gpu.num_sms)
+    pools = build_frontend_pools(buckets, config, amap)
+    assert pools is not None and len(pools) == config.gpu.num_sms
+    for bucket, pool in zip(buckets, pools):
+        _walk_and_compare(bucket, pool, amap, config.dram_org.line_bytes)
+
+
+def test_pool_pickles_for_checkpoints():
+    config = SimConfig()
+    trace = build_benchmark("bfs", config, Scale.TINY, seed=1)
+    amap = AddressMap(config.dram_org)
+    bucket = trace.by_sm(config.gpu.num_sms)[0]
+    pool = FrontEndPool(bucket, config.dram_org.line_bytes, amap)
+    clone = pickle.loads(pickle.dumps(pool))
+    _walk_and_compare(bucket, clone, amap, config.dram_org.line_bytes)
+
+
+def _one_warp_trace(lane_addrs) -> KernelTrace:
+    seg = Segment(compute_cycles=1, mem=MemOp(is_write=False, lane_addrs=lane_addrs))
+    return KernelTrace(
+        name="frontend-test", warps=[WarpTrace(sm_id=0, warp_id=0, segments=[seg])]
+    )
+
+
+def test_oversized_addresses_fall_back_to_scalar():
+    config = SimConfig()
+    amap = AddressMap(config.dram_org)
+    trace = _one_warp_trace([MAX_POOL_ADDRESS])
+    buckets = trace.by_sm(config.gpu.num_sms)
+    with pytest.raises(FrontendUnsupported):
+        FrontEndPool(buckets[0], config.dram_org.line_bytes, amap)
+    assert build_frontend_pools(buckets, config, amap) is None
+
+
+def test_scalar_escape_hatch(monkeypatch):
+    config = SimConfig()
+    amap = AddressMap(config.dram_org)
+    buckets = _one_warp_trace([0]).by_sm(config.gpu.num_sms)
+    monkeypatch.setenv("REPRO_SCALAR_FRONTEND", "1")
+    assert scalar_frontend_enabled()
+    assert build_frontend_pools(buckets, config, amap) is None
+    monkeypatch.delenv("REPRO_SCALAR_FRONTEND")
+    assert not scalar_frontend_enabled()
+    assert build_frontend_pools(buckets, config, amap) is not None
+
+
+# ---------------------------------------------------------------------------
+# whole-system: scalar and vectorized front ends are bit-identical
+# ---------------------------------------------------------------------------
+def _summary_with(monkeypatch, scalar: bool):
+    if scalar:
+        monkeypatch.setenv("REPRO_SCALAR_FRONTEND", "1")
+    else:
+        monkeypatch.delenv("REPRO_SCALAR_FRONTEND", raising=False)
+    # Request ids come from a process-global cursor; pin it so both modes
+    # allocate identical ids.
+    request_mod._req_ids.next_id = 0
+    config = SimConfig(scheduler="wg").small()
+    trace = build_benchmark("bfs", config, Scale.TINY, seed=1)
+    system = GPUSystem(config, trace)
+    assert (system.frontends is None) == scalar
+    if not scalar:
+        for sm, pool in zip(system.sms, system.frontends):
+            assert sm.frontend is pool
+    stats = system.run()
+    return stats.summary(), system.engine.events_processed
+
+
+def test_scalar_and_vectorized_runs_are_bit_identical(monkeypatch):
+    vec_summary, vec_events = _summary_with(monkeypatch, scalar=False)
+    sc_summary, sc_events = _summary_with(monkeypatch, scalar=True)
+    assert vec_summary == sc_summary
+    assert vec_events == sc_events
+
+
+def test_pool_state_is_marked_issued_after_a_run(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALAR_FRONTEND", raising=False)
+    config = SimConfig(scheduler="wg").small()
+    trace = build_benchmark("bfs", config, Scale.TINY, seed=1)
+    system = GPUSystem(config, trace)
+    pools = system.frontends
+    assert pools is not None
+    assert all((pool.state == OP_PENDING).all() for pool in pools)
+    system.run()
+    assert all((pool.state == OP_ISSUED).all() for pool in pools)
+
+
+# ---------------------------------------------------------------------------
+# bench payload records the front-end mode
+# ---------------------------------------------------------------------------
+def test_bench_payload_records_frontend_mode(monkeypatch):
+    from repro.analysis.bench import BenchReport
+
+    report = BenchReport(jobs=[], calibration_ops_per_sec=1.0)
+    monkeypatch.delenv("REPRO_SCALAR_FRONTEND", raising=False)
+    assert report.to_dict()["frontend"] == "vectorized"
+    monkeypatch.setenv("REPRO_SCALAR_FRONTEND", "1")
+    assert report.to_dict()["frontend"] == "scalar"

@@ -166,3 +166,161 @@ def test_preset_simulation_is_bit_deterministic(name):
     b = simulate(cfg, trace).summary()
     assert a == b
     assert a["ipc"] > 0
+
+
+# ---------------------------------------------------------------------------
+# table-driven command legality (core.config.TimingLegality)
+# ---------------------------------------------------------------------------
+import random
+
+from repro.core.config import TimingLegality
+from repro.dram.commands import CommandKind
+
+_PRESET_TIMINGS = {
+    "ddr3": DDR3_TIMING,
+    "gddr5": GDDR5_TIMING,
+    "gddr6": GDDR6_TIMING,
+    "hbm2": HBM2_TIMING,
+}
+
+
+def test_legality_indices_mirror_command_kinds():
+    """The matrix indices are duplicated from CommandKind (the config
+    layer must not import dram); this pin keeps them aligned."""
+    assert TimingLegality.ACT == int(CommandKind.ACT)
+    assert TimingLegality.PRE == int(CommandKind.PRE)
+    assert TimingLegality.RD == int(CommandKind.RD)
+    assert TimingLegality.WR == int(CommandKind.WR)
+
+
+def test_legality_is_built_once_per_config():
+    t = GDDR5_TIMING
+    assert t.legality is t.legality  # cached_property
+
+
+@pytest.mark.parametrize("name", sorted(_PRESET_TIMINGS))
+def test_legality_matrix_equals_branchy_check(name):
+    """Every pair entry equals the branchy parameter comparison the
+    command scheduler used to run inline, for every preset."""
+    t = _PRESET_TIMINGS[name]
+    leg = t.legality
+    tck = t.tck_ps
+    col = (TimingLegality.RD, TimingLegality.WR)
+    for prev in range(4):
+        for nxt in range(4):
+            if prev == TimingLegality.ACT and nxt == TimingLegality.ACT:
+                expect = (max(tck, t.trrd_ps), max(tck, t.trrd_ps))
+            elif prev in col and nxt in col:
+                expect = (max(tck, t.tccds_ps), max(tck, t.tccdl_ps))
+            else:
+                expect = (tck, tck)  # command bus only
+            assert leg.pair_ps[prev][nxt] == expect, (name, prev, nxt)
+            assert leg.min_delta_ps(prev, nxt, False) == expect[0]
+            assert leg.min_delta_ps(prev, nxt, True) == expect[1]
+
+
+@pytest.mark.parametrize("name", sorted(_PRESET_TIMINGS))
+def test_legality_data_bus_scalars(name):
+    t = _PRESET_TIMINGS[name]
+    leg = t.legality
+    assert leg.faw_window_ps == t.tfaw_ps
+    assert leg.faw_depth == 4
+    assert leg.read_cmd_lead_ps == t.tcas_ps
+    assert leg.write_cmd_lead_ps == t.twl_ps
+    assert leg.rd_data_to_wr_cmd_ps == t.trtrs_ps - t.twl_ps
+    assert leg.wr_data_to_rd_cmd_ps == t.twtr_ps
+
+
+@pytest.mark.parametrize("name", sorted(_PRESET_TIMINGS))
+def test_legality_every_entry_at_least_command_bus(name):
+    """Folding tCK into every entry is what lets the channel drop its
+    separate command-bus comparisons; an entry below tCK would be a bug."""
+    leg = _PRESET_TIMINGS[name].legality
+    for row in leg.pair_ps:
+        for diff, same in row:
+            assert diff >= leg.pair_ps[0][1][0]  # tck
+            assert same >= diff or same >= leg.pair_ps[0][1][0]
+
+
+# ---------------------------------------------------------------------------
+# channel queries == branchy reference under randomized command streams
+# ---------------------------------------------------------------------------
+def _ref_earliest_act(ch, bank_idx, now):
+    """Pre-table semantics: raw parameters, explicit branches + guards."""
+    t = ch.t
+    b = ch.banks[bank_idx]
+    e = max(now, b.earliest_act, ch.next_cmd_free)
+    if ch.last_act_any >= 0:
+        e = max(e, ch.last_act_any + max(t.tck_ps, t.trrd_ps))
+    if len(ch.act_window) >= 4:
+        e = max(e, ch.act_window[-4] + t.tfaw_ps)
+    return e
+
+
+def _ref_earliest_col(ch, bank_idx, is_write, now):
+    t = ch.t
+    b = ch.banks[bank_idx]
+    e = max(now, b.earliest_col, ch.next_cmd_free)
+    if ch.last_col_group >= 0:
+        if b.group == ch.last_col_group:
+            e = max(e, ch.last_col_cmd + max(t.tck_ps, t.tccdl_ps))
+        else:
+            e = max(e, ch.last_col_cmd + max(t.tck_ps, t.tccds_ps))
+    if is_write:
+        e = max(e, ch.data_bus_free - t.twl_ps)
+        if ch.last_read_data_end >= 0:
+            e = max(e, ch.last_read_data_end + (t.trtrs_ps - t.twl_ps))
+    else:
+        e = max(e, ch.data_bus_free - t.tcas_ps)
+        if ch.last_write_data_end >= 0:
+            e = max(e, ch.last_write_data_end + t.twtr_ps)
+    return e
+
+
+def _assert_queries_match_reference(ch, now):
+    terms = ch.scan_terms(now)
+    base, act, col_rd, col_wr, ccd_same_t, ccd_diff_t, col_group = terms
+    for bank_idx, b in enumerate(ch.banks):
+        assert ch.earliest_act(bank_idx, now) == _ref_earliest_act(ch, bank_idx, now)
+        for is_write in (False, True):
+            assert ch.earliest_col(bank_idx, is_write, now) == _ref_earliest_col(
+                ch, bank_idx, is_write, now
+            )
+        # scan_terms + per-bank state folds to exactly the earliest_* calls.
+        assert max(base, b.earliest_pre) == ch.earliest_pre(bank_idx, now)
+        assert max(act, b.earliest_act) == ch.earliest_act(bank_idx, now)
+        ccd_t = ccd_same_t if b.group == col_group else ccd_diff_t
+        assert max(col_rd, ccd_t, b.earliest_col) == ch.earliest_col(
+            bank_idx, False, now
+        )
+        assert max(col_wr, ccd_t, b.earliest_col) == ch.earliest_col(
+            bank_idx, True, now
+        )
+
+
+@pytest.mark.parametrize("name", sorted(_PRESET_TIMINGS))
+def test_channel_queries_match_branchy_reference(name):
+    """Drive each preset's channel with a randomized legal command stream
+    and check, at every step and for every bank, that the table-driven
+    earliest-issue queries and the hoisted scan_terms combination both
+    equal the branchy reference implementation they replaced."""
+    preset = get_preset(name)
+    ch = Channel(preset.org, preset.timing)
+    rng = random.Random(0xC0FFEE + hash(name) % 1000)
+    now = 0
+    _assert_queries_match_reference(ch, now)  # cold state, sentinels live
+    for _ in range(120):
+        bank_idx = rng.randrange(len(ch.banks))
+        b = ch.banks[bank_idx]
+        if b.open_row is None:
+            t = ch.earliest_act(bank_idx, now)
+            ch.issue_act(bank_idx, rng.randrange(64), t)
+        elif rng.random() < 0.25:
+            t = ch.earliest_pre(bank_idx, now)
+            ch.issue_pre(bank_idx, t)
+        else:
+            is_write = rng.random() < 0.4
+            t = ch.earliest_col(bank_idx, is_write, now)
+            ch.issue_col(bank_idx, is_write, t)
+        now = t + rng.randrange(0, 3 * preset.timing.tck_ps)
+        _assert_queries_match_reference(ch, now)
